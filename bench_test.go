@@ -1,0 +1,272 @@
+// Package repro's root benchmarks regenerate the paper's evaluation
+// artifacts under `go test -bench`, one benchmark per table/figure plus
+// the ablations (see DESIGN.md's per-experiment index and EXPERIMENTS.md
+// for the paper-vs-measured record). The cmd/buffy-bench tool prints the
+// same data as human-readable tables.
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"buffy/internal/backend/dafny"
+	"buffy/internal/backend/fperf"
+	"buffy/internal/backend/smtbe"
+	"buffy/internal/backend/ts"
+	"buffy/internal/buffer"
+	"buffy/internal/compose"
+	"buffy/internal/ir"
+	"buffy/internal/lang/typecheck"
+	"buffy/internal/qm"
+	"buffy/internal/qm/fperfenc"
+	"buffy/internal/smt/solver"
+	"buffy/internal/smt/term"
+	"buffy/internal/synth"
+)
+
+func mustLoad(b *testing.B, src string) *typecheck.Info {
+	b.Helper()
+	info, err := qm.Load(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return info
+}
+
+// BenchmarkTable1_LoC reports Table 1's lines-of-code comparison as
+// custom metrics (loc-direct / loc-buffy per scheduler).
+func BenchmarkTable1_LoC(b *testing.B) {
+	rows := []struct {
+		name          string
+		direct, buffy int
+	}{
+		{"FairQueue", fperfenc.LoCFQ(), qm.CountLoC(qm.FQBuggySrc)},
+		{"RoundRobin", fperfenc.LoCRR(), qm.CountLoC(qm.RRSrc)},
+		{"StrictPriority", fperfenc.LoCSP(), qm.CountLoC(qm.SPSrc)},
+	}
+	for _, r := range rows {
+		r := r
+		b.Run(r.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if r.direct <= r.buffy {
+					b.Fatal("direct encoding must dwarf the Buffy program")
+				}
+			}
+			b.ReportMetric(float64(r.direct), "loc-direct")
+			b.ReportMetric(float64(r.buffy), "loc-buffy")
+			b.ReportMetric(float64(r.direct)/float64(r.buffy), "ratio")
+		})
+	}
+}
+
+// BenchmarkFigure6_DafnyVerifyTime measures the Dafny-style verification
+// time of the FQ scheduler (under the FPerf-synthesized workload) as T
+// grows — the Figure 6 series. The ns/op trend is the figure.
+func BenchmarkFigure6_DafnyVerifyTime(b *testing.B) {
+	info := mustLoad(b, qm.FQBuggyQuerySrc)
+	params := map[string]int64{"N": 3}
+	for _, T := range []int{2, 3, 4, 5, 6} {
+		T := T
+		// Synthesize the workload once per horizon (setup, not measured).
+		sres, err := fperf.Synthesize(info, fperf.Options{IR: ir.Options{T: T, Params: params}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !sres.Found {
+			b.Fatalf("T=%d: no workload", T)
+		}
+		wl := sres.Workload
+		b.Run(fmt.Sprintf("T=%d", T), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := dafny.Verify(info, dafny.VerifyOptions{
+					IR: ir.Options{T: T, Params: params},
+					ExtraAssume: func(c *ir.Compiled, sv *solver.Solver) {
+						sv.Assert(wl.Term(c))
+					},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Verified {
+					b.Fatal("must verify under the synthesized workload")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCS1_FQStarvation measures the witness search for the §6.1
+// starvation query on the buggy scheduler across horizons.
+func BenchmarkCS1_FQStarvation(b *testing.B) {
+	info := mustLoad(b, qm.FQBuggyQuerySrc)
+	for _, T := range []int{4, 6, 8} {
+		T := T
+		b.Run(fmt.Sprintf("T=%d", T), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := smtbe.Check(info, smtbe.Options{
+					IR:   ir.Options{T: T, Params: map[string]int64{"N": 3}},
+					Mode: smtbe.Witness,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Status != smtbe.WitnessFound {
+					b.Fatalf("T=%d: %v", T, res.Status)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCS1b_FQFixedNoWitness measures the (harder) unsat direction on
+// the RFC 8290-fixed scheduler.
+func BenchmarkCS1b_FQFixedNoWitness(b *testing.B) {
+	info := mustLoad(b, qm.FQFixedQuerySrc)
+	for i := 0; i < b.N; i++ {
+		res, err := smtbe.Check(info, smtbe.Options{
+			IR:   ir.Options{T: 6, Params: map[string]int64{"N": 3}},
+			Mode: smtbe.Witness,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Status != smtbe.NoWitness {
+			b.Fatal(res.Status)
+		}
+	}
+}
+
+// BenchmarkCS2_CCACAckBurst measures the composed CCAC loss query (§6.2).
+func BenchmarkCS2_CCACAckBurst(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sv := solver.New(solver.Options{})
+		sys, err := compose.BuildCCAC(sv.Builder(), compose.CCACParams{
+			C: 1, B: 1, IW: 2, K: 2, T: 8,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res := sys.Sys.CheckQuery(sv, sys.Loss(sv.Builder()))
+		if !res.Sat {
+			b.Fatal("loss must be reachable")
+		}
+	}
+}
+
+// BenchmarkA1_BufferPrecision compares the same query under the three
+// buffer models (§3's precision/efficiency trade-off).
+func BenchmarkA1_BufferPrecision(b *testing.B) {
+	for _, model := range []string{"count", "multiclass", "list"} {
+		model := model
+		m, err := buffer.ModelByName(model)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(model, func(b *testing.B) {
+			info := mustLoad(b, qm.RRQuerySrc)
+			for i := 0; i < b.N; i++ {
+				res, err := smtbe.Check(info, smtbe.Options{
+					IR:   ir.Options{T: 6, Params: map[string]int64{"N": 2}, Model: m},
+					Mode: smtbe.Witness,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Status != smtbe.NoWitness {
+					b.Fatal(res.Status)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkA2_ModularVsMonolithic compares horizon-independent k-induction
+// with monolithic BMC at growing horizons (§5's motivation).
+func BenchmarkA2_ModularVsMonolithic(b *testing.B) {
+	info := mustLoad(b, qm.PathServerSrc)
+	params := map[string]int64{"C": 2, "B": 2}
+	bound := func(m *ir.Machine, ctx *buffer.Ctx) *term.Term {
+		bb := ctx.B
+		return bb.Le(m.Var("tokens"), bb.IntConst(4))
+	}
+	b.Run("induction", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := ts.ProveInvariant(info, ts.Options{IR: ir.Options{Params: params}}, bound)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.Proved {
+				b.Fatal("must prove")
+			}
+		}
+	})
+	for _, T := range []int{8, 16, 24} {
+		T := T
+		b.Run(fmt.Sprintf("bmc-T=%d", T), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ok, err := ts.CheckBounded(info, ts.Options{IR: ir.Options{T: T, Params: params}}, bound)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !ok {
+					b.Fatal("must hold")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkA3_Houdini measures grammar generation + Houdini pruning on the
+// path server.
+func BenchmarkA3_Houdini(b *testing.B) {
+	info := mustLoad(b, qm.PathServerSrc)
+	iro := ir.Options{Params: map[string]int64{"C": 2, "B": 2}}
+	for i := 0; i < b.N; i++ {
+		sv := solver.New(solver.Options{})
+		probe, err := ir.NewMachine(info, sv.Builder(), iro)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cands := synth.Grammar(info, probe, synth.GrammarOptions{Consts: []int64{0, 1, 4, 8}})
+		res, err := synth.Houdini(info, ts.Options{IR: iro}, cands)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Survivors) == 0 {
+			b.Fatal("expected survivors")
+		}
+	}
+}
+
+// BenchmarkS1_PipelineVsDirect measures the full Buffy pipeline against
+// the hand-written FPerf-style encoding on the identical FQ query — the
+// run-time cost of the language abstraction (it should be comparable).
+func BenchmarkS1_PipelineVsDirect(b *testing.B) {
+	b.Run("direct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sv := solver.New(solver.Options{})
+			enc := fperfenc.EncodeFQ(sv, 2, 5)
+			sv.Assert(enc.Assume)
+			sv.Assert(enc.Query)
+			if sv.Check() != solver.Sat {
+				b.Fatal("expected sat")
+			}
+		}
+	})
+	b.Run("pipeline", func(b *testing.B) {
+		info := mustLoad(b, qm.FQBuggyQuerySrc)
+		for i := 0; i < b.N; i++ {
+			res, err := smtbe.Check(info, smtbe.Options{
+				IR: ir.Options{T: 5, Params: map[string]int64{"N": 2},
+					Model: buffer.CountModel{}},
+				Mode: smtbe.Witness,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Status != smtbe.WitnessFound {
+				b.Fatal(res.Status)
+			}
+		}
+	})
+}

@@ -1,0 +1,60 @@
+// Command buffy-bench regenerates every table and figure of the paper's
+// evaluation, plus this repository's ablations. Each experiment prints the
+// same rows/series the paper reports; see EXPERIMENTS.md for the
+// paper-vs-measured comparison.
+//
+//	buffy-bench -exp table1   # Table 1: FPerf vs Buffy LoC
+//	buffy-bench -exp fig6     # Figure 6: Dafny verification time vs T
+//	buffy-bench -exp cs1      # §6.1: FQ starvation witness (buggy)
+//	buffy-bench -exp cs1b     # extension: RFC 8290 fix removes the witness
+//	buffy-bench -exp cs2      # §6.2: CCAC ack-burst loss (composition)
+//	buffy-bench -exp a1       # ablation: buffer-model precision
+//	buffy-bench -exp a2       # ablation: modular (k-induction) vs monolithic
+//	buffy-bench -exp a3       # extension: Houdini invariant inference
+//	buffy-bench -exp a4       # extension: throughput vs ack-path delay
+//	buffy-bench -exp all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+var experiments = []struct {
+	name string
+	desc string
+	run  func() error
+}{
+	{"table1", "Table 1 — FPerf vs Buffy lines of code", runTable1},
+	{"fig6", "Figure 6 — Dafny verification time vs T", runFig6},
+	{"cs1", "§6.1 — FQ scheduler starvation witness (buggy)", runCS1},
+	{"cs1b", "extension — RFC 8290 fix removes the witness", runCS1b},
+	{"cs2", "§6.2 — CCAC ack-burst loss via composition", runCS2},
+	{"a1", "ablation — buffer-model precision (list vs count vs multiclass)", runA1},
+	{"a2", "ablation — modular k-induction vs monolithic BMC", runA2},
+	{"a3", "extension — Houdini invariant inference (§5)", runA3},
+	{"a4", "extension — throughput vs ack-path delay (composed instances)", runA4},
+}
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (table1 fig6 cs1 cs1b cs2 a1 a2 a3 a4 all)")
+	flag.Parse()
+	ran := false
+	for _, e := range experiments {
+		if *exp != "all" && *exp != e.name {
+			continue
+		}
+		ran = true
+		fmt.Printf("==== %s: %s ====\n", e.name, e.desc)
+		if err := e.run(); err != nil {
+			fmt.Fprintf(os.Stderr, "buffy-bench: %s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "buffy-bench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,146 @@
+// Command buffy-run simulates a Buffy program concretely: it drives the
+// interpreter with a generated or recorded workload and prints per-step
+// observations — the quickest way to explore a model's behaviour before
+// turning a question into a solver query.
+//
+//	buffy-run -T 8 -param N=3 -workload constant:1 sched.buffy
+//	buffy-run -T 8 -param N=3 -workload fqstarve sched.buffy
+//	buffy-run -T 8 -param N=3 -plan trace.json sched.buffy
+//
+// Workload spellings: constant:RATE, onoff:BURST:PERIOD, random:MAX,
+// fqstarve.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"buffy/internal/core"
+	"buffy/internal/workload"
+)
+
+type paramFlags map[string]int64
+
+func (p paramFlags) String() string { return fmt.Sprintf("%v", map[string]int64(p)) }
+
+func (p paramFlags) Set(s string) error {
+	parts := strings.SplitN(s, "=", 2)
+	if len(parts) != 2 {
+		return fmt.Errorf("expected name=value, got %q", s)
+	}
+	v, err := strconv.ParseInt(parts[1], 10, 64)
+	if err != nil {
+		return err
+	}
+	p[parts[0]] = v
+	return nil
+}
+
+func main() {
+	params := paramFlags{}
+	T := flag.Int("T", 8, "steps to simulate")
+	wl := flag.String("workload", "constant:1", "constant:R | onoff:B:P | random:M | fqstarve")
+	planPath := flag.String("plan", "", "JSON arrival plan (overrides -workload)")
+	seed := flag.Int64("seed", 1, "seed for random workloads")
+	flag.Var(params, "param", "compile-time parameter, name=value (repeatable)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: buffy-run [flags] program.buffy")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := core.Parse(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	a := core.Analysis{T: *T, Params: params}
+
+	// Discover the input buffer names via a probe run with no traffic.
+	probe, err := prog.Simulate(core.Analysis{T: 1, Params: params}, nil)
+	if err != nil {
+		fatal(err)
+	}
+	inputs := probe.Inputs()
+
+	var plan *workload.Plan
+	switch {
+	case *planPath != "":
+		data, err := os.ReadFile(*planPath)
+		if err != nil {
+			fatal(err)
+		}
+		plan, err = workload.Unmarshal(data)
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		plan, err = buildWorkload(*wl, *T, inputs, *seed)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	fmt.Printf("simulating %s for %d steps over %d input buffer(s), %d packets\n",
+		prog.Name(), *T, len(inputs), plan.Total())
+	m, err := prog.Simulate(a, plan.Generator())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "buffy-run: execution stopped: %v\n", err)
+	}
+	if m == nil {
+		os.Exit(1)
+	}
+	fmt.Println("\nfinal state:")
+	var names []string
+	names = append(names, m.Inputs()...)
+	names = append(names, m.Outputs()...)
+	for _, n := range names {
+		b := m.Buffer(n)
+		fmt.Printf("  backlog(%s) = %d   dropped = %d\n", n, b.BacklogP(), b.Dropped)
+	}
+	if fails := m.Failures(); len(fails) > 0 {
+		fmt.Printf("\n%d assert failure(s):\n", len(fails))
+		for _, f := range fails {
+			fmt.Printf("  %s\n", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("\nall asserts held")
+}
+
+func buildWorkload(spec string, T int, inputs []string, seed int64) (*workload.Plan, error) {
+	parts := strings.Split(spec, ":")
+	arg := func(i, def int) int {
+		if i < len(parts) {
+			if v, err := strconv.Atoi(parts[i]); err == nil {
+				return v
+			}
+		}
+		return def
+	}
+	switch parts[0] {
+	case "constant":
+		return workload.ConstantRate(T, inputs, arg(1, 1)), nil
+	case "onoff":
+		return workload.OnOff(T, inputs, arg(1, 2), arg(2, 3)), nil
+	case "random":
+		return workload.Random(T, inputs, arg(1, 2), len(inputs), seed), nil
+	case "fqstarve":
+		if len(inputs) < 2 {
+			return nil, fmt.Errorf("fqstarve needs at least 2 input buffers")
+		}
+		return workload.FQStarvation(T, inputs[0], inputs[1]), nil
+	}
+	return nil, fmt.Errorf("unknown workload %q", spec)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "buffy-run:", err)
+	os.Exit(1)
+}

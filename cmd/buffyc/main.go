@@ -1,0 +1,190 @@
+// Command buffyc is the Buffy compiler and analysis driver: it parses a
+// Buffy program and runs one of the framework's back-ends against it.
+//
+//	buffyc -mode verify   -T 6 -param N=3 sched.buffy   # BMC: asserts hold?
+//	buffyc -mode witness  -T 6 -param N=3 sched.buffy   # find a query witness
+//	buffyc -mode synth    -T 5 -param N=2 sched.buffy   # FPerf-style workload
+//	buffyc -mode dafny    -T 4 -param N=3 sched.buffy   # emit Dafny source
+//	buffyc -mode dafny-verify -T 4 -param N=3 sched.buffy
+//	buffyc -mode smtlib   -T 3 sched.buffy               # emit SMT-LIB v2
+//	buffyc -mode invariants -param C=2 -param B=2 path.buffy
+//	buffyc -mode fmt sched.buffy                         # canonical formatting
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"buffy/internal/backend/smtbe"
+	"buffy/internal/core"
+	"buffy/internal/lang/ast"
+	"buffy/internal/workload"
+)
+
+type paramFlags map[string]int64
+
+func (p paramFlags) String() string { return fmt.Sprintf("%v", map[string]int64(p)) }
+
+func (p paramFlags) Set(s string) error {
+	parts := strings.SplitN(s, "=", 2)
+	if len(parts) != 2 {
+		return fmt.Errorf("expected name=value, got %q", s)
+	}
+	v, err := strconv.ParseInt(parts[1], 10, 64)
+	if err != nil {
+		return fmt.Errorf("parameter %s: %v", parts[0], err)
+	}
+	p[parts[0]] = v
+	return nil
+}
+
+func main() {
+	params := paramFlags{}
+	mode := flag.String("mode", "verify", "verify | witness | synth | dafny | dafny-verify | smtlib | invariants | fmt")
+	T := flag.Int("T", 4, "time horizon (steps)")
+	model := flag.String("model", "list", "buffer model: list | count | multiclass")
+	width := flag.Int("width", 0, "solver integer bit width (default 12)")
+	arrivals := flag.Int("arrivals", 0, "max arrivals per input buffer per step (default 1)")
+	cap := flag.Int("cap", 0, "buffer capacity (default 8)")
+	planOut := flag.String("trace-out", "", "save the discovered trace as a replayable arrival plan (JSON)")
+	flag.Var(params, "param", "compile-time parameter, name=value (repeatable)")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: buffyc [flags] program.buffy")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := core.Parse(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	if missing := missingParams(prog, params); len(missing) > 0 && *mode != "fmt" {
+		fatal(fmt.Errorf("program %s needs -param values for: %s",
+			prog.Name(), strings.Join(missing, ", ")))
+	}
+	a := core.Analysis{
+		T: *T, Params: params, Model: *model, Width: *width,
+		ArrivalsPerStep: *arrivals, BufferCap: *cap,
+	}
+
+	switch *mode {
+	case "verify":
+		res, err := prog.Verify(a)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: %v (%.3fs, %d clauses, %d vars, %d conflicts)\n",
+			prog.Name(), res.Status, res.Duration.Seconds(), res.NumClauses, res.NumVars, res.SatStats.Conflicts)
+		if res.Trace != nil {
+			fmt.Print(res.Trace)
+			savePlan(*planOut, res.Trace)
+		}
+	case "witness":
+		res, err := prog.FindWitness(a)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: %v (%.3fs)\n", prog.Name(), res.Status, res.Duration.Seconds())
+		if res.Trace != nil {
+			fmt.Print(res.Trace)
+			savePlan(*planOut, res.Trace)
+			if len(res.Trace.Vars) > 0 {
+				fmt.Println("final monitors/globals:")
+				last := res.Trace.Vars[len(res.Trace.Vars)-1]
+				for name, v := range last {
+					fmt.Printf("  %s = %d\n", name, v)
+				}
+			}
+		}
+	case "synth":
+		res, err := prog.SynthesizeWorkload(a)
+		if err != nil {
+			fatal(err)
+		}
+		if !res.Found {
+			fmt.Printf("%s: no workload guarantees the query\n", prog.Name())
+			return
+		}
+		fmt.Printf("%s: workload synthesized in %.3fs (%d checks):\n  %v\n",
+			prog.Name(), res.Duration.Seconds(), res.Checks, res.Workload)
+	case "dafny":
+		out, err := prog.GenerateDafny(a)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
+	case "dafny-verify":
+		res, err := prog.VerifyDafny(a)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: verified=%v (%.3fs, %d VCs)\n",
+			prog.Name(), res.Verified, res.Duration.Seconds(), len(res.VCs))
+		for _, vc := range res.VCs {
+			status := "ok"
+			if !vc.Holds {
+				status = "FAILS"
+			}
+			fmt.Printf("  assert at %v (step %d): %s (%.3fs)\n", vc.Pos, vc.Step, status, vc.Duration.Seconds())
+		}
+	case "fmt":
+		fmt.Print(ast.Format(prog.Info.Prog))
+	case "smtlib":
+		out, err := prog.SMTLib(a)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
+	case "invariants":
+		res, err := prog.InferInvariants(a)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: Houdini kept %d of %d candidates (%d rounds, %d checks, %.3fs)\n",
+			prog.Name(), len(res.Survivors), len(res.Survivors)+len(res.Dropped),
+			res.Rounds, res.Checks, res.Duration.Seconds())
+		for _, c := range res.Survivors {
+			fmt.Printf("  invariant: %s\n", c.Name)
+		}
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+}
+
+func missingParams(p *core.Program, have map[string]int64) []string {
+	var out []string
+	for _, name := range p.Params() {
+		if _, ok := have[name]; !ok {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// savePlan writes a trace's arrivals as a buffy-run replayable plan.
+func savePlan(path string, tr *smtbe.Trace) {
+	if path == "" {
+		return
+	}
+	data, err := workload.FromTrace(tr).Marshal()
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("trace saved as arrival plan: %s (replay with buffy-run -plan)\n", path)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "buffyc:", err)
+	os.Exit(1)
+}

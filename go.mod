@@ -1,0 +1,3 @@
+module buffy
+
+go 1.22

@@ -1,0 +1,86 @@
+package smtbe
+
+import (
+	"fmt"
+	"time"
+
+	"buffy/internal/ir"
+	"buffy/internal/lang/typecheck"
+	"buffy/internal/smt/solver"
+)
+
+// Deepening runs incremental bounded deepening on ONE solver: the machine
+// extends the unrolling step by step, newly created semantic constraints
+// are asserted permanently, and the horizon-specific query is checked
+// under assumptions — so clause learning is shared across horizons instead
+// of restarting from scratch like FindMinHorizon. Returns the result and
+// minimal horizon exactly like FindMinHorizon.
+//
+// Note: the builtin T is fixed to maxT for the whole run (a single
+// compiled unrolling serves every horizon), so Deepening suits
+// T-independent queries — per-step asserts — rather than queries guarded
+// by t == T-1; use FindMinHorizon for those.
+func Deepening(info *typecheck.Info, opts Options, maxT int) (*Result, int, error) {
+	start := time.Now()
+	sv := solver.New(opts.Solver)
+	iro := opts.IR
+	iro.T = maxT // fixes capacity heuristics so all horizons share shapes
+	m, err := ir.NewMachine(info, sv.Builder(), iro)
+	if err != nil {
+		return nil, 0, err
+	}
+	b := sv.Builder()
+	asserted := 0
+	for T := 1; T <= maxT; T++ {
+		if err := m.RunStep(T - 1); err != nil {
+			return nil, 0, err
+		}
+		// Assert the semantic constraints added by this step.
+		assumes := m.Assumes()
+		for ; asserted < len(assumes); asserted++ {
+			sv.Assert(assumes[asserted])
+		}
+		c := m.Result()
+		if len(c.Asserts) == 0 {
+			continue
+		}
+		var query = b.False()
+		switch opts.Mode {
+		case Witness:
+			query = b.And(c.AssertHolds(), c.AssertReached())
+		case Verify:
+			query = c.Violation()
+		}
+		outcome := sv.CheckAssuming(query)
+		if outcome == solver.Unknown {
+			res := &Result{Status: Unknown, Mode: opts.Mode, Compiled: c, Solver: sv,
+				Duration: time.Since(start)}
+			return res, T, nil
+		}
+		if outcome == solver.Sat {
+			res := &Result{Mode: opts.Mode, Compiled: c, Solver: sv,
+				SatStats: sv.Stats(), NumClauses: sv.NumClauses(), NumVars: sv.NumVars(),
+				Duration: time.Since(start)}
+			if opts.Mode == Witness {
+				res.Status = WitnessFound
+			} else {
+				res.Status = CounterexampleFound
+			}
+			res.Trace = ExtractTrace(c, sv)
+			return res, T, nil
+		}
+	}
+	c := m.Result()
+	if len(c.Asserts) == 0 {
+		return nil, 0, fmt.Errorf("smtbe: program %s has no assert() — nothing to check", info.Prog.Name)
+	}
+	res := &Result{Mode: opts.Mode, Compiled: c, Solver: sv,
+		SatStats: sv.Stats(), NumClauses: sv.NumClauses(), NumVars: sv.NumVars(),
+		Duration: time.Since(start)}
+	if opts.Mode == Witness {
+		res.Status = NoWitness
+	} else {
+		res.Status = Holds
+	}
+	return res, maxT, nil
+}

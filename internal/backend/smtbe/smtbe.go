@@ -1,0 +1,287 @@
+// Package smtbe is Buffy's SMT back-end: it plays the role Z3 plays for
+// FPerf (§4 "Back-end for Z3 and FPerf"). A Buffy program is unrolled over
+// a bounded horizon by the ir package and the resulting constraints are
+// decided by this repository's own solver. Two query modes cover the
+// paper's use cases:
+//
+//   - Verify: do the assert() statements hold on every execution allowed
+//     by the assume() statements? A Sat answer yields a counterexample
+//     input-traffic trace.
+//   - Witness: is there an execution on which the asserts hold (and at
+//     least one is reached)? This is the FPerf-style "can the query be
+//     satisfied" direction — e.g. finding a trace where one queue takes
+//     far more than its fair share.
+//
+// Every model the solver returns is decoded into a concrete Trace of input
+// packets, which callers (tests, the interpreter) replay independently.
+package smtbe
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"buffy/internal/buffer"
+	"buffy/internal/ir"
+	"buffy/internal/lang/typecheck"
+	"buffy/internal/smt/sat"
+	"buffy/internal/smt/solver"
+	"buffy/internal/smt/term"
+)
+
+// Mode selects the query direction.
+type Mode int
+
+// Query modes.
+const (
+	// Verify checks that asserts hold on all executions.
+	Verify Mode = iota
+	// Witness searches for an execution where all reached asserts hold and
+	// at least one assert is reached.
+	Witness
+)
+
+func (m Mode) String() string {
+	if m == Witness {
+		return "witness"
+	}
+	return "verify"
+}
+
+// Status is the analysis outcome.
+type Status int
+
+// Outcomes. For Verify: Holds / CounterexampleFound. For Witness:
+// WitnessFound / NoWitness.
+const (
+	Unknown Status = iota
+	Holds
+	CounterexampleFound
+	WitnessFound
+	NoWitness
+)
+
+func (s Status) String() string {
+	switch s {
+	case Holds:
+		return "holds"
+	case CounterexampleFound:
+		return "counterexample"
+	case WitnessFound:
+		return "witness"
+	case NoWitness:
+		return "no-witness"
+	}
+	return "unknown"
+}
+
+// PacketEvent is one concrete arriving packet in a trace.
+type PacketEvent struct {
+	Step   int
+	Buffer string
+	Fields []int64
+	Bytes  int64
+}
+
+// HavocEvent is the concrete value a havoc variable took, in program
+// execution order within its step.
+type HavocEvent struct {
+	Step  int
+	Name  string
+	Value int64
+	Bool  bool // the variable is boolean; Value is 0/1
+}
+
+// Trace is a concrete execution: the input traffic plus observed state.
+type Trace struct {
+	T       int
+	Packets []PacketEvent
+	// Havocs lists havoc values in the order the havoc statements
+	// executed (the order ir recorded them).
+	Havocs []HavocEvent
+	// Vars[t][name] is the value of each global/monitor at the end of
+	// step t (bools are 0/1).
+	Vars []map[string]int64
+	// Backlogs[t][buffer] is each buffer's packet backlog at end of step t.
+	Backlogs []map[string]int64
+	// Dropped[t][buffer] is each buffer's cumulative drop count.
+	Dropped []map[string]int64
+}
+
+// String renders the trace compactly for logs and error messages.
+func (tr *Trace) String() string {
+	s := fmt.Sprintf("trace over %d steps:\n", tr.T)
+	for t := 0; t < tr.T; t++ {
+		s += fmt.Sprintf("  step %d: arrivals", t)
+		any := false
+		for _, p := range tr.Packets {
+			if p.Step == t {
+				s += fmt.Sprintf(" %s<-flow%d", p.Buffer, p.Fields[0])
+				any = true
+			}
+		}
+		if !any {
+			s += " (none)"
+		}
+		s += "\n"
+	}
+	return s
+}
+
+// Result is the outcome of a Check.
+type Result struct {
+	Status   Status
+	Mode     Mode
+	Trace    *Trace // set when Status is CounterexampleFound or WitnessFound
+	Compiled *ir.Compiled
+	Solver   *solver.Solver
+	SatStats sat.Stats
+	Duration time.Duration
+	// Encoding sizes, for scalability experiments.
+	NumClauses int
+	NumVars    int
+}
+
+// Options configures a Check.
+type Options struct {
+	IR     ir.Options
+	Solver solver.Options
+	Mode   Mode
+	// ExtraAssume adds caller-provided constraints (e.g. synthesized
+	// workload conditions) on top of the program's own assumes. It runs
+	// after compilation, receiving the compiled program.
+	ExtraAssume func(c *ir.Compiled, s *solver.Solver)
+}
+
+// Check compiles and analyses the program.
+func Check(info *typecheck.Info, opts Options) (*Result, error) {
+	start := time.Now()
+	s := solver.New(opts.Solver)
+	c, err := ir.Compile(info, s.Builder(), opts.IR)
+	if err != nil {
+		return nil, err
+	}
+	if len(c.Asserts) == 0 {
+		return nil, fmt.Errorf("smtbe: program %s has no assert() — nothing to check", info.Prog.Name)
+	}
+	for _, a := range c.Assumes {
+		s.Assert(a)
+	}
+	if opts.ExtraAssume != nil {
+		opts.ExtraAssume(c, s)
+	}
+	res := &Result{Mode: opts.Mode, Compiled: c, Solver: s}
+	switch opts.Mode {
+	case Verify:
+		s.Assert(c.Violation())
+	case Witness:
+		s.Assert(c.AssertHolds())
+		s.Assert(c.AssertReached())
+	}
+	outcome := s.Check()
+	res.SatStats = s.Stats()
+	res.NumClauses = s.NumClauses()
+	res.NumVars = s.NumVars()
+	res.Duration = time.Since(start)
+	switch {
+	case outcome == solver.Unknown:
+		res.Status = Unknown
+	case outcome == solver.Sat && opts.Mode == Verify:
+		res.Status = CounterexampleFound
+		res.Trace = ExtractTrace(c, s)
+	case outcome == solver.Unsat && opts.Mode == Verify:
+		res.Status = Holds
+	case outcome == solver.Sat && opts.Mode == Witness:
+		res.Status = WitnessFound
+		res.Trace = ExtractTrace(c, s)
+	default:
+		res.Status = NoWitness
+	}
+	return res, nil
+}
+
+// ExtractTrace decodes the solver model into a concrete trace.
+func ExtractTrace(c *ir.Compiled, s *solver.Solver) *Trace {
+	tr := &Trace{T: len(c.Steps)}
+	for _, a := range c.Arrivals {
+		if !s.BoolValue(a.Valid) {
+			continue
+		}
+		ev := PacketEvent{Step: a.Step, Buffer: a.Buffer, Bytes: s.IntValue(a.Bytes)}
+		for _, f := range a.Fields {
+			ev.Fields = append(ev.Fields, s.IntValue(f))
+		}
+		tr.Packets = append(tr.Packets, ev)
+	}
+	for _, h := range c.Havocs {
+		ev := HavocEvent{Step: h.Step, Name: h.Name}
+		if h.Var.Sort() == term.Bool {
+			ev.Bool = true
+			if s.BoolValue(h.Var) {
+				ev.Value = 1
+			}
+		} else {
+			ev.Value = s.IntValue(h.Var)
+		}
+		tr.Havocs = append(tr.Havocs, ev)
+	}
+	sort.SliceStable(tr.Packets, func(i, j int) bool {
+		if tr.Packets[i].Step != tr.Packets[j].Step {
+			return tr.Packets[i].Step < tr.Packets[j].Step
+		}
+		return tr.Packets[i].Buffer < tr.Packets[j].Buffer
+	})
+	ctx := machineCtx(c, s)
+	for _, snap := range c.Steps {
+		vars := make(map[string]int64, len(snap.Vars))
+		for name, t := range snap.Vars {
+			v := s.Value(t)
+			if v.Sort == term.Bool {
+				if v.Bool {
+					vars[name] = 1
+				}
+			} else {
+				vars[name] = v.Int
+			}
+		}
+		tr.Vars = append(tr.Vars, vars)
+		bl := make(map[string]int64, len(snap.Buffers))
+		dr := make(map[string]int64, len(snap.Buffers))
+		for name, st := range snap.Buffers {
+			bl[name] = s.IntValue(st.BacklogP(ctx))
+			dr[name] = s.IntValue(st.Dropped())
+		}
+		tr.Backlogs = append(tr.Backlogs, bl)
+		tr.Dropped = append(tr.Dropped, dr)
+	}
+	return tr
+}
+
+// machineCtx builds a side-effect-free buffer context for reading backlog
+// terms out of snapshots (backlog queries never emit constraints).
+func machineCtx(c *ir.Compiled, s *solver.Solver) *buffer.Ctx {
+	return &buffer.Ctx{B: c.B, Assume: func(*term.Term) {}, Prefix: "trace"}
+}
+
+// FindMinHorizon runs iterative bounded deepening: it increases the
+// horizon from 1 to maxT until the check produces a trace (a witness or a
+// counterexample, per the mode), returning that result and the horizon it
+// appeared at. When no horizon up to maxT yields a trace, the last result
+// and maxT are returned. This is the standard BMC usage loop — the paper's
+// bounded tools leave picking T to the user; this automates the search.
+func FindMinHorizon(info *typecheck.Info, opts Options, maxT int) (*Result, int, error) {
+	var last *Result
+	for T := 1; T <= maxT; T++ {
+		o := opts
+		o.IR.T = T
+		res, err := Check(info, o)
+		if err != nil {
+			return nil, 0, err
+		}
+		last = res
+		if res.Trace != nil {
+			return res, T, nil
+		}
+	}
+	return last, maxT, nil
+}

@@ -1,0 +1,148 @@
+package ts
+
+import (
+	"testing"
+
+	"buffy/internal/buffer"
+	"buffy/internal/ir"
+	"buffy/internal/lang/typecheck"
+	"buffy/internal/qm"
+	"buffy/internal/smt/term"
+)
+
+func load(t *testing.T, src string) *typecheck.Info {
+	t.Helper()
+	info, err := qm.Load(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return info
+}
+
+// tokensBound is the token bucket's service-credit invariant.
+func tokensBound(k int64) Prop {
+	return func(m *ir.Machine, ctx *buffer.Ctx) *term.Term {
+		b := ctx.B
+		return b.Le(m.Var("tokens"), b.IntConst(k))
+	}
+}
+
+func tokensNonNeg(m *ir.Machine, ctx *buffer.Ctx) *term.Term {
+	b := ctx.B
+	return b.Le(b.IntConst(0), m.Var("tokens"))
+}
+
+// The path server's credit can never exceed C+B — provable for EVERY
+// horizon by 1-induction (the §7 "arbitrarily-bounded time horizon"
+// capability).
+func TestPathServerTokensInvariant(t *testing.T) {
+	info := load(t, qm.PathServerSrc)
+	opts := Options{IR: ir.Options{Params: map[string]int64{"C": 2, "B": 2}}}
+	res, err := ProveInvariant(info, opts, tokensBound(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Proved {
+		t.Fatalf("tokens <= C+B should be 1-inductive: base=%v step=%v", res.BaseOK, res.StepOK)
+	}
+}
+
+// A too-tight bound fails the induction step (and is genuinely violated).
+func TestPathServerTooTightBoundFails(t *testing.T) {
+	info := load(t, qm.PathServerSrc)
+	opts := Options{IR: ir.Options{Params: map[string]int64{"C": 2, "B": 2}}}
+	res, err := ProveInvariant(info, opts, tokensBound(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Proved {
+		t.Fatal("tokens <= 1 is false (tokens reaches C+B=4)")
+	}
+	// It is not just non-inductive: BMC refutes it within 2 steps.
+	ok, err := CheckBounded(info, Options{IR: ir.Options{T: 2, Params: map[string]int64{"C": 2, "B": 2}}}, tokensBound(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("BMC should refute tokens <= 1")
+	}
+}
+
+// Auxiliary invariants unlock non-inductive properties: tokens >= 0 alone
+// may need the upper bound as a lemma against wrap-around reasoning; the
+// conjunction is inductive.
+func TestAuxiliaryInvariants(t *testing.T) {
+	info := load(t, qm.PathServerSrc)
+	opts := Options{
+		IR:  ir.Options{Params: map[string]int64{"C": 2, "B": 2}},
+		Aux: []Prop{tokensBound(4)},
+	}
+	res, err := ProveInvariant(info, opts, tokensNonNeg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Proved {
+		t.Fatalf("tokens >= 0 with aux tokens <= C+B should prove: base=%v step=%v", res.BaseOK, res.StepOK)
+	}
+}
+
+// A time-dependent program is rejected.
+func TestRejectsTimeDependentProgram(t *testing.T) {
+	info := load(t, `p(buffer a, buffer b) {
+		global int g;
+		if (t == 0) { g = 5; }
+		move-p(a, b, 1);
+	}`)
+	_, err := ProveInvariant(info, Options{}, tokensNonNeg)
+	if err == nil {
+		t.Fatal("expected rejection of t-dependent program")
+	}
+}
+
+// Backlog never exceeds capacity: holds by construction in every model,
+// and is 1-inductive from the symbolic well-formed state.
+func TestBacklogCapInvariant(t *testing.T) {
+	info := load(t, `p(buffer a, buffer b) { move-p(a, b, 1); }`)
+	prop := func(m *ir.Machine, ctx *buffer.Ctx) *term.Term {
+		b := ctx.B
+		return b.Le(m.Buffers()["a"].BacklogP(ctx), b.IntConst(4))
+	}
+	res, err := ProveInvariant(info, Options{IR: ir.Options{BufferCap: 4}}, prop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Proved {
+		t.Fatalf("backlog <= cap should be inductive: base=%v step=%v", res.BaseOK, res.StepOK)
+	}
+}
+
+// A work-conserving single queue drains one packet per step: with at most
+// one arrival per step the backlog never exceeds 1 — needs k=1 induction
+// over the right strengthening... here the plain property is inductive.
+func TestSingleServerOccupancy(t *testing.T) {
+	info := load(t, `p(buffer a, buffer b) { move-p(a, b, backlog-p(a)); }`)
+	prop := func(m *ir.Machine, ctx *buffer.Ctx) *term.Term {
+		b := ctx.B
+		// After each step a is empty; the symbolic pre-state is arbitrary,
+		// so the provable invariant is just the capacity bound.
+		return b.Le(m.Buffers()["a"].BacklogP(ctx), b.IntConst(8))
+	}
+	res, err := ProveInvariant(info, Options{}, prop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Proved {
+		t.Fatal("capacity bound should be inductive")
+	}
+}
+
+func TestCheckBoundedHolds(t *testing.T) {
+	info := load(t, qm.PathServerSrc)
+	ok, err := CheckBounded(info, Options{IR: ir.Options{T: 5, Params: map[string]int64{"C": 1, "B": 3}}}, tokensBound(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("tokens <= C+B must hold over 5 steps")
+	}
+}

@@ -1,0 +1,70 @@
+package interp
+
+import "fmt"
+
+// SystemConn is one concrete buffer connection.
+type SystemConn struct {
+	FromProg, FromBuf string
+	ToProg, ToBuf     string
+}
+
+// System composes concrete machines the same way compose.System composes
+// symbolic ones: per step, every program runs, then each connected output
+// buffer flushes into its input, visible at the next step. It is the
+// concrete-simulation counterpart used to replay composed counterexamples
+// and to explore composed models interactively.
+type System struct {
+	machines map[string]*Machine
+	order    []string
+	conns    []SystemConn
+}
+
+// NewSystem returns an empty concrete system.
+func NewSystem() *System {
+	return &System{machines: make(map[string]*Machine)}
+}
+
+// Add registers a machine under its program name.
+func (s *System) Add(name string, m *Machine) error {
+	if _, dup := s.machines[name]; dup {
+		return fmt.Errorf("interp: program %q added twice", name)
+	}
+	s.machines[name] = m
+	s.order = append(s.order, name)
+	return nil
+}
+
+// Machine returns a registered machine.
+func (s *System) Machine(name string) *Machine { return s.machines[name] }
+
+// Connect wires an output buffer to an input buffer.
+func (s *System) Connect(fromProg, fromBuf, toProg, toBuf string) error {
+	from, ok := s.machines[fromProg]
+	if !ok {
+		return fmt.Errorf("interp: unknown program %q", fromProg)
+	}
+	to, ok := s.machines[toProg]
+	if !ok {
+		return fmt.Errorf("interp: unknown program %q", toProg)
+	}
+	if from.Buffer(fromBuf) == nil || to.Buffer(toBuf) == nil {
+		return fmt.Errorf("interp: unknown buffer in connection %s.%s -> %s.%s",
+			fromProg, fromBuf, toProg, toBuf)
+	}
+	s.conns = append(s.conns, SystemConn{fromProg, fromBuf, toProg, toBuf})
+	return nil
+}
+
+// Step executes one composed step: each machine runs (arrivals must have
+// been injected by the caller beforehand), then connections flush.
+func (s *System) Step(t int) error {
+	for _, name := range s.order {
+		if err := s.machines[name].Step(t); err != nil {
+			return fmt.Errorf("interp: %s step %d: %w", name, t, err)
+		}
+	}
+	for _, c := range s.conns {
+		FlushInto(s.machines[c.FromProg].Buffer(c.FromBuf), s.machines[c.ToProg].Buffer(c.ToBuf))
+	}
+	return nil
+}

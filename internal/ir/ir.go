@@ -1,0 +1,225 @@
+// Package ir lowers checked Buffy programs into solver-ready term DAGs.
+// The lowering applies exactly the transformations §4 of the paper names:
+// bounded loops are fully unrolled, control flow is converted to guarded
+// (single-assignment) updates — the SSA step —, arrays are flattened to
+// scalar slots to avoid array theories (§7), buffer operations are expanded
+// through the selected buffer model, and run-time buffer indices (ibs[head])
+// are case-split over all candidate buffers, just like FPerf's hand-written
+// per-queue enumeration in Figure 1.
+//
+// Two entry points cover the back-ends' needs:
+//
+//   - Compile unrolls a program over a bounded horizon T starting from the
+//     empty initial state, producing assumption and assertion terms over
+//     symbolic input traffic — the bounded-model-checking encoding.
+//   - NewMachine exposes single-step execution over caller-controlled
+//     state, which the composition runtime chains across programs and the
+//     transition-system back-end uses to build a step relation.
+package ir
+
+import (
+	"fmt"
+	"sort"
+
+	"buffy/internal/buffer"
+	"buffy/internal/lang/typecheck"
+	"buffy/internal/smt/term"
+)
+
+// Options configures compilation.
+type Options struct {
+	// Model is the buffer model; nil means the list model.
+	Model buffer.Model
+	// T is the time horizon (number of steps) for Compile.
+	T int
+	// Params binds the program's compile-time parameters.
+	Params map[string]int64
+	// BufferCap is each buffer's capacity (0: default 8).
+	BufferCap int
+	// OutBufferCap overrides capacity for output buffers (0: T*ArrivalsPerStep
+	// heuristic, so accumulated output is never dropped by default).
+	OutBufferCap int
+	// ArrivalsPerStep bounds symbolic arrivals per input buffer per step
+	// (0: default 1).
+	ArrivalsPerStep int
+	// NumClasses bounds packet field values (0: default = number of input
+	// buffers, min 2).
+	NumClasses int
+	// MaxBytes bounds a packet's byte size (0: default 1 — unit packets).
+	MaxBytes int
+	// ListCap bounds the capacity of Buffy list variables (0: default =
+	// number of input buffer instances, min 4).
+	ListCap int
+	// NoArrivals disables symbolic input traffic (used by the composition
+	// runtime for internally-connected buffers and by custom drivers).
+	NoArrivals bool
+	// NamePrefix overrides the variable-name namespace (default: the
+	// program name). Required when instantiating the same program more
+	// than once in a composition, so the instances' symbolic variables
+	// stay distinct.
+	NamePrefix string
+}
+
+func (o Options) withDefaults(numInputs int) Options {
+	if o.Model == nil {
+		o.Model = buffer.ListModel{}
+	}
+	if o.T <= 0 {
+		o.T = 1
+	}
+	if o.BufferCap <= 0 {
+		o.BufferCap = 8
+	}
+	if o.ArrivalsPerStep <= 0 {
+		o.ArrivalsPerStep = 1
+	}
+	if o.NumClasses <= 0 {
+		o.NumClasses = numInputs
+		if o.NumClasses < 2 {
+			o.NumClasses = 2
+		}
+	}
+	if o.MaxBytes <= 0 {
+		o.MaxBytes = 1
+	}
+	if o.ListCap <= 0 {
+		o.ListCap = numInputs
+		if o.ListCap < 4 {
+			o.ListCap = 4
+		}
+	}
+	if o.OutBufferCap <= 0 {
+		o.OutBufferCap = o.T*o.ArrivalsPerStep*numInputs + o.BufferCap
+		if o.OutBufferCap < o.BufferCap {
+			o.OutBufferCap = o.BufferCap
+		}
+	}
+	return o
+}
+
+// Error is a compile-time lowering error.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%v: %s", e.Pos, e.Msg) }
+
+// AssertInst is one assert(E) instance reached during unrolling.
+type AssertInst struct {
+	Step  int
+	Guard *term.Term // path condition under which the assert executes
+	Cond  *term.Term // the asserted condition
+	Pos   Pos
+}
+
+// Pos mirrors token.Pos without re-exporting the token package.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Arrival describes one symbolic arrival slot (a potential input packet).
+type Arrival struct {
+	Step   int
+	Buffer string // instance name, e.g. "ibs[0]"
+	Slot   int
+	Valid  *term.Term
+	Fields []*term.Term
+	Bytes  *term.Term
+}
+
+// HavocVar records one nondeterministic value introduced by a havoc
+// statement; its value in a model is part of the execution trace.
+type HavocVar struct {
+	Step int
+	Name string
+	Var  *term.Term
+}
+
+// StepSnapshot captures program state at the end of a step.
+type StepSnapshot struct {
+	// Vars holds globals and monitors (scalars) by name; array elements
+	// appear as name[i].
+	Vars map[string]*term.Term
+	// Buffers maps buffer instance names to their states.
+	Buffers map[string]buffer.State
+}
+
+// Compiled is the result of unrolling a program over T steps.
+type Compiled struct {
+	Info *typecheck.Info
+	Opts Options
+	B    *term.Builder
+
+	// Assumes conjoins buffer-model side constraints, arrival
+	// well-formedness and program assume() statements.
+	Assumes []*term.Term
+	// Asserts lists every assert instance reached during unrolling.
+	Asserts []AssertInst
+	// Arrivals lists all symbolic input slots, in (step, buffer, slot) order.
+	Arrivals []Arrival
+	// Havocs lists the nondeterministic havoc variables in creation order.
+	Havocs []HavocVar
+	// Steps holds end-of-step snapshots, Steps[t] for step t.
+	Steps []StepSnapshot
+	// InputNames and OutputNames list buffer instance names by direction.
+	InputNames  []string
+	OutputNames []string
+}
+
+// AssumeAll returns the conjunction of all assumptions.
+func (c *Compiled) AssumeAll() *term.Term { return c.B.And(c.Assumes...) }
+
+// AssertHolds returns the term "every reached assert instance holds".
+func (c *Compiled) AssertHolds() *term.Term {
+	parts := make([]*term.Term, len(c.Asserts))
+	for i, a := range c.Asserts {
+		parts[i] = c.B.Implies(a.Guard, a.Cond)
+	}
+	return c.B.And(parts...)
+}
+
+// AssertReached returns the term "at least one assert instance is reached".
+func (c *Compiled) AssertReached() *term.Term {
+	parts := make([]*term.Term, len(c.Asserts))
+	for i, a := range c.Asserts {
+		parts[i] = a.Guard
+	}
+	return c.B.Or(parts...)
+}
+
+// Violation returns the term "some reached assert instance fails".
+func (c *Compiled) Violation() *term.Term {
+	parts := make([]*term.Term, len(c.Asserts))
+	for i, a := range c.Asserts {
+		parts[i] = c.B.And(a.Guard, c.B.Not(a.Cond))
+	}
+	return c.B.Or(parts...)
+}
+
+// Compile unrolls prog over opts.T steps from the empty initial state with
+// symbolic input traffic.
+func Compile(info *typecheck.Info, b *term.Builder, opts Options) (*Compiled, error) {
+	m, err := NewMachine(info, b, opts)
+	if err != nil {
+		return nil, err
+	}
+	for t := 0; t < m.opts.T; t++ {
+		if err := m.RunStep(t); err != nil {
+			return nil, err
+		}
+	}
+	return m.Result(), nil
+}
+
+// sortedNames returns map keys in sorted order (deterministic output).
+func sortedNames[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,540 @@
+// Package ast defines the abstract syntax tree of the Buffy language. The
+// node set mirrors Figure 3 of the paper: expressions over ints, bools,
+// buffers (with backlog and filter operations) and lists, and commands for
+// moving packets/bytes between buffers, list manipulation, assignment,
+// conditionals and bounded loops, plus assume/assert for workload
+// assumptions and performance queries.
+package ast
+
+import (
+	"fmt"
+	"strings"
+
+	"buffy/internal/lang/token"
+)
+
+// Node is implemented by every AST node.
+type Node interface {
+	Pos() token.Pos
+	String() string
+}
+
+// Expr is an expression node.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// Stmt is a statement (command) node.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// ----- types -----
+
+// TypeKind enumerates Buffy's primitive and structured types.
+type TypeKind int
+
+// Buffy types (§7: integers, booleans, buffers, arrays, lists).
+const (
+	TInt TypeKind = iota
+	TBool
+	TBuffer
+	TList
+)
+
+func (k TypeKind) String() string {
+	switch k {
+	case TInt:
+		return "int"
+	case TBool:
+		return "bool"
+	case TBuffer:
+		return "buffer"
+	case TList:
+		return "list"
+	}
+	return fmt.Sprintf("type(%d)", int(k))
+}
+
+// Type is a (possibly array-shaped) Buffy type. Size is the array length
+// expression (nil for scalars); per §7 it must resolve to a compile-time
+// constant.
+type Type struct {
+	Kind TypeKind
+	Size Expr // nil for non-array
+}
+
+func (t Type) String() string {
+	if t.Size != nil {
+		return fmt.Sprintf("%v[%s]", t.Kind, t.Size)
+	}
+	return t.Kind.String()
+}
+
+// IsArray reports whether the type has an array dimension.
+func (t Type) IsArray() bool { return t.Size != nil }
+
+// ----- program structure -----
+
+// Program is a complete Buffy program: one time step of behaviour over a
+// set of input and output buffers.
+type Program struct {
+	Name    string
+	NamePos token.Pos
+	Params  []*BufferParam
+	Fields  []string // packet field names; defaults to ["flow"]
+	Decls   []*VarDecl
+	Body    []Stmt
+}
+
+func (p *Program) Pos() token.Pos { return p.NamePos }
+
+func (p *Program) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %s(", p.Name)
+	for i, pr := range p.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(pr.String())
+	}
+	b.WriteString(") { ... }")
+	return b.String()
+}
+
+// Direction marks a buffer parameter as program input or output.
+type Direction int
+
+// Buffer parameter directions.
+const (
+	DirIn Direction = iota
+	DirOut
+)
+
+func (d Direction) String() string {
+	if d == DirOut {
+		return "out"
+	}
+	return "in"
+}
+
+// BufferParam is one buffer parameter of a program, e.g. `in buffer[N] ibs`.
+type BufferParam struct {
+	Dir      Direction
+	Explicit bool // direction was written in the source
+	Name     string
+	Size     Expr // nil for a single buffer; else the array length
+	NamePos  token.Pos
+}
+
+func (p *BufferParam) Pos() token.Pos { return p.NamePos }
+
+func (p *BufferParam) String() string {
+	if p.Size != nil {
+		return fmt.Sprintf("%v buffer[%s] %s", p.Dir, p.Size, p.Name)
+	}
+	return fmt.Sprintf("%v buffer %s", p.Dir, p.Name)
+}
+
+// StorageClass says how long a variable lives (§3: globals persist across
+// time steps, locals are per-step, monitors are ghost globals).
+type StorageClass int
+
+// Variable storage classes.
+const (
+	Global StorageClass = iota
+	Local
+	Monitor
+)
+
+func (s StorageClass) String() string {
+	switch s {
+	case Global:
+		return "global"
+	case Local:
+		return "local"
+	case Monitor:
+		return "monitor"
+	}
+	return fmt.Sprintf("storage(%d)", int(s))
+}
+
+// VarDecl declares a global, local or monitor variable.
+type VarDecl struct {
+	Storage StorageClass
+	Type    Type
+	Name    string
+	NamePos token.Pos
+	Init    Expr // optional initializer (globals: value before step 0)
+}
+
+func (d *VarDecl) Pos() token.Pos { return d.NamePos }
+func (d *VarDecl) String() string {
+	s := fmt.Sprintf("%v %v %s", d.Storage, d.Type, d.Name)
+	if d.Init != nil {
+		s += " = " + d.Init.String()
+	}
+	return s + ";"
+}
+func (d *VarDecl) stmtNode() {}
+
+// ----- expressions -----
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Value  int64
+	LitPos token.Pos
+}
+
+func (e *IntLit) Pos() token.Pos { return e.LitPos }
+func (e *IntLit) String() string { return fmt.Sprintf("%d", e.Value) }
+func (e *IntLit) exprNode()      {}
+
+// BoolLit is true or false.
+type BoolLit struct {
+	Value  bool
+	LitPos token.Pos
+}
+
+func (e *BoolLit) Pos() token.Pos { return e.LitPos }
+func (e *BoolLit) String() string { return fmt.Sprintf("%t", e.Value) }
+func (e *BoolLit) exprNode()      {}
+
+// Ident is a variable, parameter or compile-time constant reference.
+type Ident struct {
+	Name  string
+	IdPos token.Pos
+}
+
+func (e *Ident) Pos() token.Pos { return e.IdPos }
+func (e *Ident) String() string { return e.Name }
+func (e *Ident) exprNode()      {}
+
+// BinOp enumerates binary operators.
+type BinOp int
+
+// Binary operators.
+const (
+	OpAdd BinOp = iota
+	OpSub
+	OpMul
+	OpDiv // compile-time constant operands only (§7 keeps solving simple)
+	OpMod // compile-time constant operands only
+	OpEq
+	OpNeq
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAnd
+	OpOr
+)
+
+var binOpNames = map[BinOp]string{
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpMod: "%",
+	OpEq: "==", OpNeq: "!=", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=",
+	OpAnd: "&", OpOr: "|",
+}
+
+func (op BinOp) String() string { return binOpNames[op] }
+
+// Binary is a binary expression.
+type Binary struct {
+	Op   BinOp
+	X, Y Expr
+}
+
+func (e *Binary) Pos() token.Pos { return e.X.Pos() }
+func (e *Binary) String() string {
+	return fmt.Sprintf("(%s %v %s)", e.X, e.Op, e.Y)
+}
+func (e *Binary) exprNode() {}
+
+// UnOp enumerates unary operators.
+type UnOp int
+
+// Unary operators.
+const (
+	OpNot UnOp = iota
+	OpNegate
+)
+
+func (op UnOp) String() string {
+	if op == OpNot {
+		return "!"
+	}
+	return "-"
+}
+
+// Unary is a unary expression.
+type Unary struct {
+	Op    UnOp
+	X     Expr
+	OpPos token.Pos
+}
+
+func (e *Unary) Pos() token.Pos { return e.OpPos }
+func (e *Unary) String() string { return fmt.Sprintf("(%v%s)", e.Op, e.X) }
+func (e *Unary) exprNode()      {}
+
+// Index is arr[i] or ibs[i] (array or buffer-array indexing).
+type Index struct {
+	X   Expr
+	Idx Expr
+}
+
+func (e *Index) Pos() token.Pos { return e.X.Pos() }
+func (e *Index) String() string { return fmt.Sprintf("%s[%s]", e.X, e.Idx) }
+func (e *Index) exprNode()      {}
+
+// Backlog is backlog-p(B) or backlog-b(B).
+type Backlog struct {
+	Bytes bool // true for backlog-b
+	Buf   Expr // buffer-typed expression (possibly filtered)
+	KwPos token.Pos
+}
+
+func (e *Backlog) Pos() token.Pos { return e.KwPos }
+func (e *Backlog) String() string {
+	op := "backlog-p"
+	if e.Bytes {
+		op = "backlog-b"
+	}
+	return fmt.Sprintf("%s(%s)", op, e.Buf)
+}
+func (e *Backlog) exprNode() {}
+
+// Filter is B |> f == n: the sub-buffer of B whose packets have field f
+// equal to n.
+type Filter struct {
+	Buf   Expr // buffer-typed
+	Field string
+	Value Expr // integer
+}
+
+func (e *Filter) Pos() token.Pos { return e.Buf.Pos() }
+func (e *Filter) String() string {
+	return fmt.Sprintf("(%s |> %s == %s)", e.Buf, e.Field, e.Value)
+}
+func (e *Filter) exprNode() {}
+
+// ListOpKind enumerates list methods usable in expression position.
+type ListOpKind int
+
+// List query methods.
+const (
+	ListHas ListOpKind = iota
+	ListEmpty
+	ListSize
+)
+
+func (k ListOpKind) String() string {
+	switch k {
+	case ListHas:
+		return "has"
+	case ListEmpty:
+		return "empty"
+	case ListSize:
+		return "size"
+	}
+	return "?"
+}
+
+// ListQuery is l.has(E), l.empty() or l.size().
+type ListQuery struct {
+	List Expr
+	Op   ListOpKind
+	Arg  Expr // only for has
+}
+
+func (e *ListQuery) Pos() token.Pos { return e.List.Pos() }
+func (e *ListQuery) String() string {
+	if e.Arg != nil {
+		return fmt.Sprintf("%s.%v(%s)", e.List, e.Op, e.Arg)
+	}
+	return fmt.Sprintf("%s.%v()", e.List, e.Op)
+}
+func (e *ListQuery) exprNode() {}
+
+// ----- statements -----
+
+// Assign is x = E, arr[i] = E, or x = l.pop_front().
+type Assign struct {
+	LHS Expr // Ident or Index
+	RHS Expr // ordinary expression, or PopFront
+}
+
+func (s *Assign) Pos() token.Pos { return s.LHS.Pos() }
+func (s *Assign) String() string { return fmt.Sprintf("%s = %s;", s.LHS, s.RHS) }
+func (s *Assign) stmtNode()      {}
+
+// PopFront is the RHS form l.pop_front(); it both yields the head and
+// mutates the list, so it is only legal directly on an assignment RHS.
+type PopFront struct {
+	List Expr
+}
+
+func (e *PopFront) Pos() token.Pos { return e.List.Pos() }
+func (e *PopFront) String() string { return fmt.Sprintf("%s.pop_front()", e.List) }
+func (e *PopFront) exprNode()      {}
+
+// PushBack is l.push_back(E) (alias: l.enq(E)).
+type PushBack struct {
+	List Expr
+	Arg  Expr
+}
+
+func (s *PushBack) Pos() token.Pos { return s.List.Pos() }
+func (s *PushBack) String() string { return fmt.Sprintf("%s.push_back(%s);", s.List, s.Arg) }
+func (s *PushBack) stmtNode()      {}
+
+// Move is move-p(src, dst, E) or move-b(src, dst, E): move E packets/bytes
+// from src to dst.
+type Move struct {
+	Bytes    bool
+	Src, Dst Expr // buffer-typed
+	Count    Expr // integer
+	KwPos    token.Pos
+}
+
+func (s *Move) Pos() token.Pos { return s.KwPos }
+func (s *Move) String() string {
+	op := "move-p"
+	if s.Bytes {
+		op = "move-b"
+	}
+	return fmt.Sprintf("%s(%s, %s, %s);", op, s.Src, s.Dst, s.Count)
+}
+func (s *Move) stmtNode() {}
+
+// If is a conditional command.
+type If struct {
+	Cond  Expr
+	Then  []Stmt
+	Else  []Stmt // nil if absent
+	KwPos token.Pos
+}
+
+func (s *If) Pos() token.Pos { return s.KwPos }
+func (s *If) String() string { return fmt.Sprintf("if (%s) {...}", s.Cond) }
+func (s *If) stmtNode()      {}
+
+// For is the bounded loop `for (i in lo..hi) do { body }`; the bounds must
+// be compile-time constants (§7) and the loop runs for i in [lo, hi).
+type For struct {
+	Var    string
+	Lo, Hi Expr
+	Body   []Stmt
+	KwPos  token.Pos
+}
+
+func (s *For) Pos() token.Pos { return s.KwPos }
+func (s *For) String() string {
+	return fmt.Sprintf("for (%s in %s..%s) {...}", s.Var, s.Lo, s.Hi)
+}
+func (s *For) stmtNode() {}
+
+// Assert is a performance query check (§3: monitors + assert).
+type Assert struct {
+	Cond  Expr
+	KwPos token.Pos
+}
+
+func (s *Assert) Pos() token.Pos { return s.KwPos }
+func (s *Assert) String() string { return fmt.Sprintf("assert(%s);", s.Cond) }
+func (s *Assert) stmtNode()      {}
+
+// Assume restricts the considered executions (workload assumptions).
+type Assume struct {
+	Cond  Expr
+	KwPos token.Pos
+}
+
+func (s *Assume) Pos() token.Pos { return s.KwPos }
+func (s *Assume) String() string { return fmt.Sprintf("assume(%s);", s.Cond) }
+func (s *Assume) stmtNode()      {}
+
+// Havoc assigns a nondeterministic value to a variable (§6: "havocs —
+// symbolic variables with non-deterministic values that can be constrained
+// using assume statements").
+type Havoc struct {
+	Target *Ident
+	KwPos  token.Pos
+}
+
+func (s *Havoc) Pos() token.Pos { return s.KwPos }
+func (s *Havoc) String() string { return fmt.Sprintf("havoc %s;", s.Target) }
+func (s *Havoc) stmtNode()      {}
+
+// Walk traverses the statement tree in depth-first order, calling f for
+// every statement.
+func Walk(stmts []Stmt, f func(Stmt)) {
+	for _, s := range stmts {
+		f(s)
+		switch n := s.(type) {
+		case *If:
+			Walk(n.Then, f)
+			Walk(n.Else, f)
+		case *For:
+			Walk(n.Body, f)
+		}
+	}
+}
+
+// WalkExprs traverses every expression in the statement tree.
+func WalkExprs(stmts []Stmt, f func(Expr)) {
+	var we func(Expr)
+	we = func(e Expr) {
+		if e == nil {
+			return
+		}
+		f(e)
+		switch n := e.(type) {
+		case *Binary:
+			we(n.X)
+			we(n.Y)
+		case *Unary:
+			we(n.X)
+		case *Index:
+			we(n.X)
+			we(n.Idx)
+		case *Backlog:
+			we(n.Buf)
+		case *Filter:
+			we(n.Buf)
+			we(n.Value)
+		case *ListQuery:
+			we(n.List)
+			we(n.Arg)
+		case *PopFront:
+			we(n.List)
+		}
+	}
+	Walk(stmts, func(s Stmt) {
+		switch n := s.(type) {
+		case *Assign:
+			we(n.LHS)
+			we(n.RHS)
+		case *PushBack:
+			we(n.List)
+			we(n.Arg)
+		case *Move:
+			we(n.Src)
+			we(n.Dst)
+			we(n.Count)
+		case *If:
+			we(n.Cond)
+		case *For:
+			we(n.Lo)
+			we(n.Hi)
+		case *Assert:
+			we(n.Cond)
+		case *Assume:
+			we(n.Cond)
+		case *VarDecl:
+			we(n.Init)
+		}
+	})
+}

@@ -1,0 +1,138 @@
+package ast_test
+
+import (
+	"strings"
+	"testing"
+
+	"buffy/internal/lang/ast"
+	"buffy/internal/lang/parser"
+	"buffy/internal/qm"
+)
+
+func parse(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	p, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return p
+}
+
+// Round-trip property: Format output reparses to a structurally identical
+// program (Format is a fixed point after one iteration).
+func TestFormatRoundTrip(t *testing.T) {
+	sources := map[string]string{
+		"fq":      qm.FQBuggySrc,
+		"fqq":     qm.FQBuggyQuerySrc,
+		"fqf":     qm.FQFixedQuerySrc,
+		"rr":      qm.RRSrc,
+		"rrq":     qm.RRQuerySrc,
+		"sp":      qm.SPSrc,
+		"spq":     qm.SPQuerySrc,
+		"path":    qm.PathServerSrc,
+		"delay":   qm.DelaySrc,
+		"aimd":    qm.AIMDSrc,
+		"filters": `p(buffer a, buffer b) { fields flow, prio; local int n; n = backlog-b(a |> flow == 1 |> prio == 2); move-b(a |> flow == 1, b, n); }`,
+		"arrays":  `p(buffer a, buffer b) { global int[4] arr; local int i; arr[i+1] = arr[0] * 2; move-p(a, b, arr[3]); }`,
+	}
+	for name, src := range sources {
+		t.Run(name, func(t *testing.T) {
+			p1 := parse(t, src)
+			out1 := ast.Format(p1)
+			p2 := parse(t, out1)
+			out2 := ast.Format(p2)
+			if out1 != out2 {
+				t.Fatalf("round trip not stable:\n--- first ---\n%s\n--- second ---\n%s", out1, out2)
+			}
+			if !ast.Equal(p1, p2) {
+				t.Fatal("reparsed program differs structurally")
+			}
+		})
+	}
+}
+
+func TestFormatPreservesExplicitDirections(t *testing.T) {
+	p := parse(t, `p(in buffer a, out buffer b, out buffer c) { move-p(a, b, 1); }`)
+	out := ast.Format(p)
+	if !strings.Contains(out, "in buffer a") || !strings.Contains(out, "out buffer c") {
+		t.Errorf("directions lost:\n%s", out)
+	}
+}
+
+func TestWalkVisitsEverything(t *testing.T) {
+	p := parse(t, qm.FQBuggySrc)
+	var ifs, fors, moves, pushes int
+	ast.Walk(p.Body, func(s ast.Stmt) {
+		switch s.(type) {
+		case *ast.If:
+			ifs++
+		case *ast.For:
+			fors++
+		case *ast.Move:
+			moves++
+		case *ast.PushBack:
+			pushes++
+		}
+	})
+	if fors != 2 {
+		t.Errorf("fors = %d, want 2", fors)
+	}
+	if ifs < 5 {
+		t.Errorf("ifs = %d, want >= 5", ifs)
+	}
+	if moves != 1 || pushes != 2 {
+		t.Errorf("moves=%d pushes=%d", moves, pushes)
+	}
+}
+
+func TestWalkExprsVisitsNested(t *testing.T) {
+	p := parse(t, `p(buffer a, buffer b) {
+		local int x;
+		x = backlog-p(a |> flow == (1 + 2));
+		move-p(a, b, x * 3);
+	}`)
+	var backlogs, filters, binaries int
+	ast.WalkExprs(p.Body, func(e ast.Expr) {
+		switch e.(type) {
+		case *ast.Backlog:
+			backlogs++
+		case *ast.Filter:
+			filters++
+		case *ast.Binary:
+			binaries++
+		}
+	})
+	if backlogs != 1 || filters != 1 {
+		t.Errorf("backlogs=%d filters=%d", backlogs, filters)
+	}
+	if binaries < 2 { // (1+2) and x*3
+		t.Errorf("binaries = %d, want >= 2", binaries)
+	}
+}
+
+func TestStringMethods(t *testing.T) {
+	p := parse(t, qm.SPSrc)
+	if got := p.String(); !strings.Contains(got, "sp(") {
+		t.Errorf("program string = %q", got)
+	}
+	if ast.Global.String() != "global" || ast.Monitor.String() != "monitor" {
+		t.Error("storage class strings")
+	}
+	if ast.TBuffer.String() != "buffer" || ast.TList.String() != "list" {
+		t.Error("type kind strings")
+	}
+	if ast.DirIn.String() != "in" || ast.DirOut.String() != "out" {
+		t.Error("direction strings")
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	p := parse(t, `p(buffer a, buffer b) { global int[3] xs; move-p(a, b, xs[0]); }`)
+	d := p.Decls[0]
+	if got := d.Type.String(); got != "int[3]" {
+		t.Errorf("type string = %q", got)
+	}
+	if !d.Type.IsArray() {
+		t.Error("IsArray should be true")
+	}
+}

@@ -1,0 +1,140 @@
+package ast
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders a program back to parseable Buffy source. The output is
+// normalized (canonical spacing, explicit braces, declarations hoisted to
+// the top) rather than a byte-for-byte reproduction of the input; parsing
+// the output yields a structurally identical program.
+func Format(p *Program) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s(", p.Name)
+	for i, pr := range p.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if pr.Explicit {
+			fmt.Fprintf(&b, "%v ", pr.Dir)
+		}
+		if pr.Size != nil {
+			fmt.Fprintf(&b, "buffer[%s] %s", formatExpr(pr.Size), pr.Name)
+		} else {
+			fmt.Fprintf(&b, "buffer %s", pr.Name)
+		}
+	}
+	b.WriteString(") {\n")
+	if len(p.Fields) > 0 && !(len(p.Fields) == 1 && p.Fields[0] == "flow") {
+		fmt.Fprintf(&b, "  fields %s;\n", strings.Join(p.Fields, ", "))
+	}
+	for _, d := range p.Decls {
+		b.WriteString("  ")
+		b.WriteString(formatDecl(d))
+		b.WriteByte('\n')
+	}
+	formatStmts(&b, p.Body, 1)
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func formatDecl(d *VarDecl) string {
+	s := fmt.Sprintf("%v %v %s", d.Storage, d.Type, d.Name)
+	if d.Init != nil {
+		s += " = " + formatExpr(d.Init)
+	}
+	return s + ";"
+}
+
+func indent(b *strings.Builder, level int) {
+	for i := 0; i < level; i++ {
+		b.WriteString("  ")
+	}
+}
+
+func formatStmts(b *strings.Builder, stmts []Stmt, level int) {
+	for _, s := range stmts {
+		formatStmt(b, s, level)
+	}
+}
+
+func formatStmt(b *strings.Builder, s Stmt, level int) {
+	indent(b, level)
+	switch n := s.(type) {
+	case *Assign:
+		fmt.Fprintf(b, "%s = %s;\n", formatExpr(n.LHS), formatExpr(n.RHS))
+	case *PushBack:
+		fmt.Fprintf(b, "%s.push_back(%s);\n", formatExpr(n.List), formatExpr(n.Arg))
+	case *Move:
+		op := "move-p"
+		if n.Bytes {
+			op = "move-b"
+		}
+		fmt.Fprintf(b, "%s(%s, %s, %s);\n", op, formatExpr(n.Src), formatExpr(n.Dst), formatExpr(n.Count))
+	case *If:
+		fmt.Fprintf(b, "if (%s) {\n", formatExpr(n.Cond))
+		formatStmts(b, n.Then, level+1)
+		if len(n.Else) > 0 {
+			indent(b, level)
+			b.WriteString("} else {\n")
+			formatStmts(b, n.Else, level+1)
+		}
+		indent(b, level)
+		b.WriteString("}\n")
+	case *For:
+		fmt.Fprintf(b, "for (%s in %s..%s) {\n", n.Var, formatExpr(n.Lo), formatExpr(n.Hi))
+		formatStmts(b, n.Body, level+1)
+		indent(b, level)
+		b.WriteString("}\n")
+	case *Assert:
+		fmt.Fprintf(b, "assert(%s);\n", formatExpr(n.Cond))
+	case *Assume:
+		fmt.Fprintf(b, "assume(%s);\n", formatExpr(n.Cond))
+	case *Havoc:
+		fmt.Fprintf(b, "havoc %s;\n", n.Target.Name)
+	case *VarDecl:
+		fmt.Fprintf(b, "%s\n", formatDecl(n))
+	default:
+		fmt.Fprintf(b, "/* unhandled %T */\n", s)
+	}
+}
+
+func formatExpr(e Expr) string {
+	switch n := e.(type) {
+	case *IntLit:
+		return fmt.Sprintf("%d", n.Value)
+	case *BoolLit:
+		return fmt.Sprintf("%t", n.Value)
+	case *Ident:
+		return n.Name
+	case *Binary:
+		return fmt.Sprintf("(%s %v %s)", formatExpr(n.X), n.Op, formatExpr(n.Y))
+	case *Unary:
+		return fmt.Sprintf("%v%s", n.Op, formatExpr(n.X))
+	case *Index:
+		return fmt.Sprintf("%s[%s]", formatExpr(n.X), formatExpr(n.Idx))
+	case *Backlog:
+		op := "backlog-p"
+		if n.Bytes {
+			op = "backlog-b"
+		}
+		return fmt.Sprintf("%s(%s)", op, formatExpr(n.Buf))
+	case *Filter:
+		return fmt.Sprintf("%s |> %s == %s", formatExpr(n.Buf), n.Field, formatExpr(n.Value))
+	case *ListQuery:
+		if n.Arg != nil {
+			return fmt.Sprintf("%s.%v(%s)", formatExpr(n.List), n.Op, formatExpr(n.Arg))
+		}
+		return fmt.Sprintf("%s.%v()", formatExpr(n.List), n.Op)
+	case *PopFront:
+		return fmt.Sprintf("%s.pop_front()", formatExpr(n.List))
+	}
+	return fmt.Sprintf("/* unhandled %T */", e)
+}
+
+// Equal reports structural equality of two programs, ignoring positions.
+// It is the check behind the parse/print round-trip property.
+func Equal(a, b *Program) bool {
+	return Format(a) == Format(b)
+}

@@ -1,0 +1,259 @@
+// Package lexer tokenizes Buffy source text. The only unusual feature is
+// hyphenated keywords (backlog-p, move-b, ...): a '-' inside an identifier
+// is consumed only when the resulting word is one of the known hyphenated
+// keywords, so ordinary subtraction like "a-b" still lexes as three tokens.
+package lexer
+
+import (
+	"fmt"
+
+	"buffy/internal/lang/token"
+)
+
+// Error is a lexical error with position information.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%v: %s", e.Pos, e.Msg) }
+
+// Lexer scans Buffy source text into tokens.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+	errs []*Error
+}
+
+// New returns a Lexer over src.
+func New(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Errors returns lexical errors encountered so far.
+func (l *Lexer) Errors() []*Error { return l.errs }
+
+func (l *Lexer) errorf(pos token.Pos, format string, args ...interface{}) {
+	l.errs = append(l.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) pos() token.Pos { return token.Pos{Line: l.line, Col: l.col} }
+
+func isLetter(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func (l *Lexer) skipSpaceAndComments() {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			start := l.pos()
+			l.advance()
+			l.advance()
+			closed := false
+			for l.off < len(l.src) {
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				l.errorf(start, "unterminated block comment")
+			}
+		default:
+			return
+		}
+	}
+}
+
+// Next returns the next token.
+func (l *Lexer) Next() token.Token {
+	l.skipSpaceAndComments()
+	pos := l.pos()
+	if l.off >= len(l.src) {
+		return token.Token{Kind: token.EOF, Pos: pos}
+	}
+	c := l.advance()
+
+	switch {
+	case isLetter(c):
+		return l.scanWord(pos, c)
+	case isDigit(c):
+		return l.scanNumber(pos, c)
+	}
+
+	mk := func(k token.Kind) token.Token { return token.Token{Kind: k, Pos: pos} }
+	switch c {
+	case '=':
+		if l.peek() == '=' {
+			l.advance()
+			return mk(token.EQ)
+		}
+		return mk(token.ASSIGN)
+	case '+':
+		return mk(token.PLUS)
+	case '-':
+		return mk(token.MINUS)
+	case '*':
+		return mk(token.STAR)
+	case '/':
+		return mk(token.SLASH)
+	case '%':
+		return mk(token.PERCENT)
+	case '<':
+		if l.peek() == '=' {
+			l.advance()
+			return mk(token.LE)
+		}
+		return mk(token.LT)
+	case '>':
+		if l.peek() == '=' {
+			l.advance()
+			return mk(token.GE)
+		}
+		return mk(token.GT)
+	case '!':
+		if l.peek() == '=' {
+			l.advance()
+			return mk(token.NEQ)
+		}
+		return mk(token.NOT)
+	case '&':
+		if l.peek() == '&' {
+			l.advance()
+		}
+		return mk(token.AND)
+	case '|':
+		if l.peek() == '>' {
+			l.advance()
+			return mk(token.PIPE)
+		}
+		if l.peek() == '|' {
+			l.advance()
+		}
+		return mk(token.OR)
+	case '(':
+		return mk(token.LPAREN)
+	case ')':
+		return mk(token.RPAREN)
+	case '{':
+		return mk(token.LBRACE)
+	case '}':
+		return mk(token.RBRACE)
+	case '[':
+		return mk(token.LBRACKET)
+	case ']':
+		return mk(token.RBRACKET)
+	case ',':
+		return mk(token.COMMA)
+	case ';':
+		return mk(token.SEMICOLON)
+	case ':':
+		return mk(token.COLON)
+	case '.':
+		if l.peek() == '.' {
+			l.advance()
+			return mk(token.DOTDOT)
+		}
+		return mk(token.DOT)
+	}
+	l.errorf(pos, "unexpected character %q", c)
+	return token.Token{Kind: token.ILLEGAL, Lit: string(c), Pos: pos}
+}
+
+func (l *Lexer) scanWord(pos token.Pos, first byte) token.Token {
+	start := l.off - 1
+	for l.off < len(l.src) && (isLetter(l.peek()) || isDigit(l.peek())) {
+		l.advance()
+	}
+	word := l.src[start:l.off]
+	// Hyphenated keyword lookahead: "backlog" + "-p" etc. Only consume the
+	// hyphen when the combined word is a known keyword.
+	if l.peek() == '-' && (word == "backlog" || word == "move") {
+		save := *l
+		l.advance() // '-'
+		if isLetter(l.peek()) {
+			s2 := l.off
+			for l.off < len(l.src) && (isLetter(l.peek()) || isDigit(l.peek())) {
+				l.advance()
+			}
+			combined := word + "-" + l.src[s2:l.off]
+			if k, ok := token.Keywords[combined]; ok {
+				return token.Token{Kind: k, Lit: combined, Pos: pos}
+			}
+		}
+		*l = save // not a hyphenated keyword; restore
+	}
+	if k, ok := token.Keywords[word]; ok {
+		return token.Token{Kind: k, Lit: word, Pos: pos}
+	}
+	return token.Token{Kind: token.IDENT, Lit: word, Pos: pos}
+}
+
+func (l *Lexer) scanNumber(pos token.Pos, first byte) token.Token {
+	start := l.off - 1
+	for l.off < len(l.src) && isDigit(l.peek()) {
+		l.advance()
+	}
+	if isLetter(l.peek()) {
+		bad := l.pos()
+		for l.off < len(l.src) && (isLetter(l.peek()) || isDigit(l.peek())) {
+			l.advance()
+		}
+		l.errorf(bad, "malformed number %q", l.src[start:l.off])
+		return token.Token{Kind: token.ILLEGAL, Lit: l.src[start:l.off], Pos: pos}
+	}
+	return token.Token{Kind: token.INT, Lit: l.src[start:l.off], Pos: pos}
+}
+
+// All tokenizes the whole input (testing helper).
+func (l *Lexer) All() []token.Token {
+	var out []token.Token
+	for {
+		t := l.Next()
+		out = append(out, t)
+		if t.Kind == token.EOF {
+			return out
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package lexer
+
+import (
+	"testing"
+
+	"buffy/internal/lang/token"
+)
+
+func kinds(src string) []token.Kind {
+	var out []token.Kind
+	for _, t := range New(src).All() {
+		out = append(out, t.Kind)
+	}
+	return out
+}
+
+func expectKinds(t *testing.T, src string, want ...token.Kind) {
+	t.Helper()
+	want = append(want, token.EOF)
+	got := kinds(src)
+	if len(got) != len(want) {
+		t.Fatalf("%q: got %v, want %v", src, got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%q: token %d = %v, want %v", src, i, got[i], want[i])
+		}
+	}
+}
+
+func TestOperators(t *testing.T) {
+	expectKinds(t, "= == != < <= > >= + - * / %",
+		token.ASSIGN, token.EQ, token.NEQ, token.LT, token.LE, token.GT,
+		token.GE, token.PLUS, token.MINUS, token.STAR, token.SLASH, token.PERCENT)
+	expectKinds(t, "& && | || ! |>",
+		token.AND, token.AND, token.OR, token.OR, token.NOT, token.PIPE)
+	expectKinds(t, "( ) { } [ ] , ; . .. :",
+		token.LPAREN, token.RPAREN, token.LBRACE, token.RBRACE,
+		token.LBRACKET, token.RBRACKET, token.COMMA, token.SEMICOLON,
+		token.DOT, token.DOTDOT, token.COLON)
+}
+
+func TestHyphenatedKeywords(t *testing.T) {
+	expectKinds(t, "backlog-p backlog-b move-p move-b",
+		token.KwBacklogP, token.KwBacklogB, token.KwMoveP, token.KwMoveB)
+	// Underscore aliases.
+	expectKinds(t, "backlog_p move_b", token.KwBacklogP, token.KwMoveB)
+	// A '-' after other identifiers stays subtraction.
+	expectKinds(t, "backlog - p", token.IDENT, token.MINUS, token.IDENT)
+	expectKinds(t, "backlogx-p", token.IDENT, token.MINUS, token.IDENT)
+	// backlog-q is not a keyword: must lex as backlog, -, q.
+	expectKinds(t, "backlog-q", token.IDENT, token.MINUS, token.IDENT)
+	// move-p1 is not a keyword either.
+	expectKinds(t, "move-p1", token.IDENT, token.MINUS, token.IDENT)
+}
+
+func TestKeywordsVsIdents(t *testing.T) {
+	expectKinds(t, "program buffer int bool list global local monitor if else for in out do true false assert assume fields param havoc",
+		token.KwProgram, token.KwBuffer, token.KwInt, token.KwBool, token.KwList,
+		token.KwGlobal, token.KwLocal, token.KwMonitor, token.KwIf, token.KwElse,
+		token.KwFor, token.KwIn, token.KwOut, token.KwDo, token.KwTrue,
+		token.KwFalse, token.KwAssert, token.KwAssume, token.KwFields,
+		token.KwParam, token.KwHavoc)
+	expectKinds(t, "programx iff Buffer", token.IDENT, token.IDENT, token.IDENT)
+}
+
+func TestNumbersAndPositions(t *testing.T) {
+	lx := New("x = 42;\n  y = 7;")
+	toks := lx.All()
+	if toks[2].Lit != "42" || toks[2].Kind != token.INT {
+		t.Errorf("got %v", toks[2])
+	}
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("x at %v, want 1:1", toks[0].Pos)
+	}
+	if toks[4].Pos.Line != 2 || toks[4].Pos.Col != 3 {
+		t.Errorf("y at %v, want 2:3", toks[4].Pos)
+	}
+}
+
+func TestComments(t *testing.T) {
+	expectKinds(t, "a // line comment\nb /* block\ncomment */ c",
+		token.IDENT, token.IDENT, token.IDENT)
+}
+
+func TestUnterminatedBlockComment(t *testing.T) {
+	lx := New("a /* never closed")
+	lx.All()
+	if len(lx.Errors()) == 0 {
+		t.Error("expected unterminated-comment error")
+	}
+}
+
+func TestIllegalCharacter(t *testing.T) {
+	lx := New("a @ b")
+	toks := lx.All()
+	if toks[1].Kind != token.ILLEGAL {
+		t.Errorf("got %v, want ILLEGAL", toks[1])
+	}
+	if len(lx.Errors()) == 0 {
+		t.Error("expected lexical error")
+	}
+}
+
+func TestMalformedNumber(t *testing.T) {
+	lx := New("x = 12ab;")
+	toks := lx.All()
+	found := false
+	for _, tok := range toks {
+		if tok.Kind == token.ILLEGAL {
+			found = true
+		}
+	}
+	if !found || len(lx.Errors()) == 0 {
+		t.Error("expected malformed-number error")
+	}
+}
+
+func TestDotDotVersusDot(t *testing.T) {
+	expectKinds(t, "0..N", token.INT, token.DOTDOT, token.IDENT)
+	expectKinds(t, "l.has", token.IDENT, token.DOT, token.IDENT)
+}

@@ -1,0 +1,602 @@
+// Package parser implements a recursive-descent parser for the Buffy
+// language. It accepts the paper's surface syntax (Figure 4) — including
+// optional in/out buffer qualifiers (when omitted, the last buffer parameter
+// is the output buffer, matching the paper's convention), the optional
+// `do` after bounded-for headers, braceless single-statement if bodies, and
+// the `local x = e;` re-assignment spelling.
+package parser
+
+import (
+	"fmt"
+	"strconv"
+
+	"buffy/internal/lang/ast"
+	"buffy/internal/lang/lexer"
+	"buffy/internal/lang/token"
+)
+
+// Error is a parse error with position information.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%v: %s", e.Pos, e.Msg) }
+
+// Parser parses Buffy source text.
+type Parser struct {
+	lx   *lexer.Lexer
+	tok  token.Token
+	next token.Token
+	errs []*Error
+
+	// inFilterValue suppresses |> in postfix position while parsing the
+	// value of a filter, so `a |> f == 1 |> g == 2` chains the second
+	// filter onto the buffer rather than onto the literal 1.
+	inFilterValue bool
+}
+
+// pushCall marks `l.push_back(e)` / `l.enq(e)` while the parser decides
+// whether it occurs in statement position; it never escapes this package.
+type pushCall struct {
+	list ast.Expr
+	arg  ast.Expr
+}
+
+func (p *pushCall) Pos() token.Pos { return p.list.Pos() }
+func (p *pushCall) String() string { return fmt.Sprintf("%s.push_back(%s)", p.list, p.arg) }
+func (p *pushCall) exprMarker()    {}
+
+// pushCall deliberately does not implement ast.Expr (no exprNode method);
+// the parser wraps it in exprOrPush below.
+
+// ParseFile parses a file that may contain several programs.
+func ParseFile(src string) ([]*ast.Program, error) {
+	p := &Parser{lx: lexer.New(src)}
+	p.tok = p.lx.Next()
+	p.next = p.lx.Next()
+	var progs []*ast.Program
+	for p.tok.Kind != token.EOF {
+		prog := p.parseProgram()
+		if prog != nil {
+			progs = append(progs, prog)
+		}
+		if len(p.errs) > 0 {
+			break
+		}
+	}
+	if errs := p.lx.Errors(); len(errs) > 0 {
+		return nil, errs[0]
+	}
+	if len(p.errs) > 0 {
+		return nil, p.errs[0]
+	}
+	if len(progs) == 0 {
+		return nil, &Error{Pos: token.Pos{Line: 1, Col: 1}, Msg: "no program found"}
+	}
+	return progs, nil
+}
+
+// Parse parses a single program (the first in the file).
+func Parse(src string) (*ast.Program, error) {
+	progs, err := ParseFile(src)
+	if err != nil {
+		return nil, err
+	}
+	return progs[0], nil
+}
+
+func (p *Parser) advance() {
+	p.tok = p.next
+	p.next = p.lx.Next()
+}
+
+func (p *Parser) errorf(pos token.Pos, format string, args ...interface{}) {
+	if len(p.errs) < 20 {
+		p.errs = append(p.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+	}
+}
+
+func (p *Parser) expect(k token.Kind) token.Token {
+	t := p.tok
+	if t.Kind != k {
+		p.errorf(t.Pos, "expected %v, found %v", k, t)
+		// Do not consume: let the caller's structure re-synchronize.
+		return token.Token{Kind: k, Pos: t.Pos}
+	}
+	p.advance()
+	return t
+}
+
+func (p *Parser) accept(k token.Kind) bool {
+	if p.tok.Kind == k {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+// bail reports whether too many errors accumulated to continue sensibly.
+func (p *Parser) bail() bool { return len(p.errs) > 0 }
+
+// ----- program -----
+
+func (p *Parser) parseProgram() *ast.Program {
+	p.accept(token.KwProgram) // optional keyword
+	name := p.expect(token.IDENT)
+	prog := &ast.Program{Name: name.Lit, NamePos: name.Pos}
+	p.expect(token.LPAREN)
+	for p.tok.Kind != token.RPAREN && p.tok.Kind != token.EOF {
+		prog.Params = append(prog.Params, p.parseBufferParam())
+		if !p.accept(token.COMMA) {
+			break
+		}
+		if p.bail() {
+			return nil
+		}
+	}
+	p.expect(token.RPAREN)
+	p.expect(token.LBRACE)
+	for p.tok.Kind != token.RBRACE && p.tok.Kind != token.EOF {
+		if p.bail() {
+			return nil
+		}
+		switch p.tok.Kind {
+		case token.KwFields:
+			p.parseFields(prog)
+		default:
+			s := p.parseStmt()
+			if s != nil {
+				if d, ok := s.(*ast.VarDecl); ok {
+					prog.Decls = append(prog.Decls, d)
+				} else {
+					prog.Body = append(prog.Body, s)
+				}
+			}
+		}
+	}
+	p.expect(token.RBRACE)
+	inferDirections(prog)
+	if len(prog.Fields) == 0 {
+		prog.Fields = []string{"flow"}
+	}
+	return prog
+}
+
+// inferDirections applies the paper's convention when no in/out qualifiers
+// are given: the last buffer parameter is the output buffer.
+func inferDirections(prog *ast.Program) {
+	anyExplicit := false
+	for _, pr := range prog.Params {
+		if pr.Explicit {
+			anyExplicit = true
+		}
+	}
+	if anyExplicit || len(prog.Params) < 2 {
+		return
+	}
+	for i, pr := range prog.Params {
+		if i == len(prog.Params)-1 {
+			pr.Dir = ast.DirOut
+		} else {
+			pr.Dir = ast.DirIn
+		}
+	}
+}
+
+func (p *Parser) parseBufferParam() *ast.BufferParam {
+	bp := &ast.BufferParam{}
+	switch p.tok.Kind {
+	case token.KwIn:
+		bp.Dir, bp.Explicit = ast.DirIn, true
+		p.advance()
+	case token.KwOut:
+		bp.Dir, bp.Explicit = ast.DirOut, true
+		p.advance()
+	}
+	p.expect(token.KwBuffer)
+	if p.accept(token.LBRACKET) {
+		bp.Size = p.parseExpr()
+		p.expect(token.RBRACKET)
+	}
+	name := p.expect(token.IDENT)
+	bp.Name, bp.NamePos = name.Lit, name.Pos
+	return bp
+}
+
+func (p *Parser) parseFields(prog *ast.Program) {
+	p.expect(token.KwFields)
+	for {
+		f := p.expect(token.IDENT)
+		prog.Fields = append(prog.Fields, f.Lit)
+		if !p.accept(token.COMMA) {
+			break
+		}
+	}
+	p.expect(token.SEMICOLON)
+}
+
+// ----- statements -----
+
+func (p *Parser) parseBlockOrStmt() []ast.Stmt {
+	if p.accept(token.LBRACE) {
+		var out []ast.Stmt
+		for p.tok.Kind != token.RBRACE && p.tok.Kind != token.EOF {
+			if p.bail() {
+				return out
+			}
+			if s := p.parseStmt(); s != nil {
+				out = append(out, s)
+			}
+		}
+		p.expect(token.RBRACE)
+		return out
+	}
+	// Braceless single statement (Figure 4 line 6 style).
+	if s := p.parseStmt(); s != nil {
+		return []ast.Stmt{s}
+	}
+	return nil
+}
+
+func (p *Parser) parseStmt() ast.Stmt {
+	switch p.tok.Kind {
+	case token.KwGlobal, token.KwLocal, token.KwMonitor:
+		return p.parseDeclOrQualifiedAssign()
+	case token.KwIf:
+		return p.parseIf()
+	case token.KwFor:
+		return p.parseFor()
+	case token.KwAssert, token.KwAssume:
+		return p.parseAssertAssume()
+	case token.KwMoveP, token.KwMoveB:
+		return p.parseMove()
+	case token.KwHavoc:
+		kw := p.tok
+		p.advance()
+		name := p.expect(token.IDENT)
+		p.expect(token.SEMICOLON)
+		return &ast.Havoc{Target: &ast.Ident{Name: name.Lit, IdPos: name.Pos}, KwPos: kw.Pos}
+	case token.SEMICOLON:
+		p.advance()
+		return nil
+	case token.IDENT:
+		return p.parseSimpleStmt()
+	}
+	p.errorf(p.tok.Pos, "unexpected %v at statement start", p.tok)
+	p.advance()
+	return nil
+}
+
+func (p *Parser) parseDeclOrQualifiedAssign() ast.Stmt {
+	var storage ast.StorageClass
+	switch p.tok.Kind {
+	case token.KwGlobal:
+		storage = ast.Global
+	case token.KwLocal:
+		storage = ast.Local
+	case token.KwMonitor:
+		storage = ast.Monitor
+	}
+	p.advance()
+
+	// `local x = e;` — storage-qualified re-assignment (Figure 4, line 9).
+	if p.tok.Kind == token.IDENT && p.next.Kind == token.ASSIGN {
+		lhs := &ast.Ident{Name: p.tok.Lit, IdPos: p.tok.Pos}
+		p.advance()
+		p.expect(token.ASSIGN)
+		rhs := p.parseAssignRHS()
+		p.expect(token.SEMICOLON)
+		return &ast.Assign{LHS: lhs, RHS: rhs}
+	}
+
+	typ := p.parseType()
+	name := p.expect(token.IDENT)
+	d := &ast.VarDecl{Storage: storage, Type: typ, Name: name.Lit, NamePos: name.Pos}
+	if p.accept(token.ASSIGN) {
+		d.Init = p.parseExpr()
+	}
+	p.expect(token.SEMICOLON)
+	return d
+}
+
+func (p *Parser) parseType() ast.Type {
+	var t ast.Type
+	switch p.tok.Kind {
+	case token.KwInt:
+		t.Kind = ast.TInt
+	case token.KwBool:
+		t.Kind = ast.TBool
+	case token.KwList:
+		t.Kind = ast.TList
+	case token.KwBuffer:
+		t.Kind = ast.TBuffer
+	default:
+		p.errorf(p.tok.Pos, "expected type, found %v", p.tok)
+		return t
+	}
+	p.advance()
+	if p.accept(token.LBRACKET) {
+		t.Size = p.parseExpr()
+		p.expect(token.RBRACKET)
+	}
+	return t
+}
+
+func (p *Parser) parseIf() ast.Stmt {
+	kw := p.expect(token.KwIf)
+	p.expect(token.LPAREN)
+	cond := p.parseExpr()
+	p.expect(token.RPAREN)
+	then := p.parseBlockOrStmt()
+	var els []ast.Stmt
+	if p.accept(token.KwElse) {
+		if p.tok.Kind == token.KwIf {
+			els = []ast.Stmt{p.parseIf()} // else-if chain
+		} else {
+			els = p.parseBlockOrStmt()
+		}
+	}
+	return &ast.If{Cond: cond, Then: then, Else: els, KwPos: kw.Pos}
+}
+
+func (p *Parser) parseFor() ast.Stmt {
+	kw := p.expect(token.KwFor)
+	p.expect(token.LPAREN)
+	v := p.expect(token.IDENT)
+	p.expect(token.KwIn)
+	lo := p.parseExpr()
+	p.expect(token.DOTDOT)
+	hi := p.parseExpr()
+	p.expect(token.RPAREN)
+	p.accept(token.KwDo) // optional
+	body := p.parseBlockOrStmt()
+	return &ast.For{Var: v.Lit, Lo: lo, Hi: hi, Body: body, KwPos: kw.Pos}
+}
+
+func (p *Parser) parseAssertAssume() ast.Stmt {
+	kw := p.tok
+	p.advance()
+	p.expect(token.LPAREN)
+	cond := p.parseExpr()
+	p.expect(token.RPAREN)
+	p.expect(token.SEMICOLON)
+	if kw.Kind == token.KwAssert {
+		return &ast.Assert{Cond: cond, KwPos: kw.Pos}
+	}
+	return &ast.Assume{Cond: cond, KwPos: kw.Pos}
+}
+
+func (p *Parser) parseMove() ast.Stmt {
+	kw := p.tok
+	p.advance()
+	p.expect(token.LPAREN)
+	src := p.parseExpr()
+	p.expect(token.COMMA)
+	dst := p.parseExpr()
+	p.expect(token.COMMA)
+	count := p.parseExpr()
+	p.expect(token.RPAREN)
+	p.expect(token.SEMICOLON)
+	return &ast.Move{
+		Bytes: kw.Kind == token.KwMoveB,
+		Src:   src, Dst: dst, Count: count, KwPos: kw.Pos,
+	}
+}
+
+// parseSimpleStmt handles assignments and list-mutation calls.
+func (p *Parser) parseSimpleStmt() ast.Stmt {
+	lhs, push := p.parsePostfixOrPush()
+	if push != nil {
+		p.expect(token.SEMICOLON)
+		return &ast.PushBack{List: push.list, Arg: push.arg}
+	}
+	if p.tok.Kind == token.ASSIGN {
+		p.advance()
+		rhs := p.parseAssignRHS()
+		p.expect(token.SEMICOLON)
+		switch lhs.(type) {
+		case *ast.Ident, *ast.Index:
+		default:
+			p.errorf(lhs.Pos(), "invalid assignment target %s", lhs)
+		}
+		return &ast.Assign{LHS: lhs, RHS: rhs}
+	}
+	p.errorf(p.tok.Pos, "expected '=' or method-call statement, found %v", p.tok)
+	p.advance()
+	return nil
+}
+
+// parseAssignRHS parses an expression or an l.pop_front() call.
+func (p *Parser) parseAssignRHS() ast.Expr {
+	e := p.parseExpr()
+	return e
+}
+
+// ----- expressions -----
+
+// parseExpr parses at the lowest precedence level (|).
+func (p *Parser) parseExpr() ast.Expr {
+	e := p.parseAnd()
+	for p.tok.Kind == token.OR {
+		p.advance()
+		y := p.parseAnd()
+		e = &ast.Binary{Op: ast.OpOr, X: e, Y: y}
+	}
+	return e
+}
+
+func (p *Parser) parseAnd() ast.Expr {
+	e := p.parseComparison()
+	for p.tok.Kind == token.AND {
+		p.advance()
+		y := p.parseComparison()
+		e = &ast.Binary{Op: ast.OpAnd, X: e, Y: y}
+	}
+	return e
+}
+
+var cmpOps = map[token.Kind]ast.BinOp{
+	token.EQ: ast.OpEq, token.NEQ: ast.OpNeq,
+	token.LT: ast.OpLt, token.LE: ast.OpLe,
+	token.GT: ast.OpGt, token.GE: ast.OpGe,
+}
+
+func (p *Parser) parseComparison() ast.Expr {
+	e := p.parseAdditive()
+	if op, ok := cmpOps[p.tok.Kind]; ok {
+		p.advance()
+		y := p.parseAdditive()
+		e = &ast.Binary{Op: op, X: e, Y: y}
+	}
+	return e
+}
+
+func (p *Parser) parseAdditive() ast.Expr {
+	e := p.parseMultiplicative()
+	for p.tok.Kind == token.PLUS || p.tok.Kind == token.MINUS {
+		op := ast.OpAdd
+		if p.tok.Kind == token.MINUS {
+			op = ast.OpSub
+		}
+		p.advance()
+		y := p.parseMultiplicative()
+		e = &ast.Binary{Op: op, X: e, Y: y}
+	}
+	return e
+}
+
+func (p *Parser) parseMultiplicative() ast.Expr {
+	e := p.parseUnary()
+	for p.tok.Kind == token.STAR || p.tok.Kind == token.SLASH || p.tok.Kind == token.PERCENT {
+		var op ast.BinOp
+		switch p.tok.Kind {
+		case token.STAR:
+			op = ast.OpMul
+		case token.SLASH:
+			op = ast.OpDiv
+		default:
+			op = ast.OpMod
+		}
+		p.advance()
+		y := p.parseUnary()
+		e = &ast.Binary{Op: op, X: e, Y: y}
+	}
+	return e
+}
+
+func (p *Parser) parseUnary() ast.Expr {
+	switch p.tok.Kind {
+	case token.NOT:
+		pos := p.tok.Pos
+		p.advance()
+		return &ast.Unary{Op: ast.OpNot, X: p.parseUnary(), OpPos: pos}
+	case token.MINUS:
+		pos := p.tok.Pos
+		p.advance()
+		return &ast.Unary{Op: ast.OpNegate, X: p.parseUnary(), OpPos: pos}
+	}
+	e, push := p.parsePostfixOrPush()
+	if push != nil {
+		p.errorf(push.Pos(), "push_back is a statement, not an expression")
+		return &ast.IntLit{Value: 0, LitPos: push.Pos()}
+	}
+	return e
+}
+
+// parsePostfixOrPush parses a primary followed by postfix operations:
+// indexing, method calls, and buffer filters. If the final postfix is a
+// push_back/enq call, it is returned separately so only statement position
+// accepts it.
+func (p *Parser) parsePostfixOrPush() (ast.Expr, *pushCall) {
+	e := p.parsePrimary()
+	for {
+		switch p.tok.Kind {
+		case token.LBRACKET:
+			p.advance()
+			idx := p.parseExpr()
+			p.expect(token.RBRACKET)
+			e = &ast.Index{X: e, Idx: idx}
+		case token.DOT:
+			p.advance()
+			m := p.expect(token.IDENT)
+			p.expect(token.LPAREN)
+			var arg ast.Expr
+			if p.tok.Kind != token.RPAREN {
+				arg = p.parseExpr()
+			}
+			p.expect(token.RPAREN)
+			switch m.Lit {
+			case "has":
+				if arg == nil {
+					p.errorf(m.Pos, "has requires an argument")
+					arg = &ast.IntLit{Value: 0, LitPos: m.Pos}
+				}
+				e = &ast.ListQuery{List: e, Op: ast.ListHas, Arg: arg}
+			case "empty":
+				e = &ast.ListQuery{List: e, Op: ast.ListEmpty}
+			case "size":
+				e = &ast.ListQuery{List: e, Op: ast.ListSize}
+			case "pop_front":
+				e = &ast.PopFront{List: e}
+			case "push_back", "enq":
+				if arg == nil {
+					p.errorf(m.Pos, "%s requires an argument", m.Lit)
+					arg = &ast.IntLit{Value: 0, LitPos: m.Pos}
+				}
+				return nil, &pushCall{list: e, arg: arg}
+			default:
+				p.errorf(m.Pos, "unknown method %q (want has/empty/size/pop_front/push_back/enq)", m.Lit)
+			}
+		case token.PIPE:
+			if p.inFilterValue {
+				return e, nil
+			}
+			p.advance()
+			f := p.expect(token.IDENT)
+			p.expect(token.EQ)
+			p.inFilterValue = true
+			v := p.parseAdditive()
+			p.inFilterValue = false
+			e = &ast.Filter{Buf: e, Field: f.Lit, Value: v}
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *Parser) parsePrimary() ast.Expr {
+	t := p.tok
+	switch t.Kind {
+	case token.INT:
+		p.advance()
+		v, err := strconv.ParseInt(t.Lit, 10, 64)
+		if err != nil {
+			p.errorf(t.Pos, "invalid integer %q", t.Lit)
+		}
+		return &ast.IntLit{Value: v, LitPos: t.Pos}
+	case token.KwTrue:
+		p.advance()
+		return &ast.BoolLit{Value: true, LitPos: t.Pos}
+	case token.KwFalse:
+		p.advance()
+		return &ast.BoolLit{Value: false, LitPos: t.Pos}
+	case token.IDENT:
+		p.advance()
+		return &ast.Ident{Name: t.Lit, IdPos: t.Pos}
+	case token.LPAREN:
+		p.advance()
+		e := p.parseExpr()
+		p.expect(token.RPAREN)
+		return e
+	case token.KwBacklogP, token.KwBacklogB:
+		p.advance()
+		p.expect(token.LPAREN)
+		buf := p.parseExpr()
+		p.expect(token.RPAREN)
+		return &ast.Backlog{Bytes: t.Kind == token.KwBacklogB, Buf: buf, KwPos: t.Pos}
+	}
+	p.errorf(t.Pos, "unexpected %v in expression", t)
+	p.advance()
+	return &ast.IntLit{Value: 0, LitPos: t.Pos}
+}

@@ -1,0 +1,290 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"buffy/internal/lang/ast"
+)
+
+// fig4 is the buggy fair-queuing scheduler exactly as printed in Figure 4
+// of the paper.
+const fig4 = `
+fq(buffer[N] ibs, buffer ob){
+  global list nq; global list oq;
+  // update new queues
+  for (i in 0..N) do{
+    if ( backlog-p(ibs[i]) > 0 & !oq.has(i) & !nq.has(i))
+      nq.enq(i);}
+  // decide which input queue should transmit
+  local bool dequeued; local int head;
+  local dequeued = false;
+  for (i in 0..N) do {
+    if (!dequeued) {
+      head = -1;
+      if (!nq.empty()) { head = nq.pop_front();}
+      else {
+        if (!oq.empty()) { head = oq.pop_front();}}
+      if (head != -1) {
+        if ( backlog-p(ibs[head]) > 1) {
+          oq.push_back(head);}
+        if ( backlog-p(ibs[head]) > 0) {
+          move-p(ibs[head], ob, 1);
+          dequeued = true;}}}}}
+`
+
+func TestParseFigure4(t *testing.T) {
+	prog, err := Parse(fig4)
+	if err != nil {
+		t.Fatalf("parse error: %v", err)
+	}
+	if prog.Name != "fq" {
+		t.Errorf("name = %q, want fq", prog.Name)
+	}
+	if len(prog.Params) != 2 {
+		t.Fatalf("params = %d, want 2", len(prog.Params))
+	}
+	if prog.Params[0].Dir != ast.DirIn || prog.Params[0].Name != "ibs" {
+		t.Errorf("param 0 = %v, want in ibs", prog.Params[0])
+	}
+	if prog.Params[0].Size == nil {
+		t.Error("ibs should be a buffer array")
+	}
+	if prog.Params[1].Dir != ast.DirOut || prog.Params[1].Name != "ob" {
+		t.Errorf("param 1 = %v, want out ob (inferred)", prog.Params[1])
+	}
+	if len(prog.Decls) != 4 {
+		t.Errorf("decls = %d, want 4 (nq, oq, dequeued, head)", len(prog.Decls))
+	}
+	// Body: for, assign (local dequeued = false), for.
+	if len(prog.Body) != 3 {
+		t.Fatalf("body stmts = %d, want 3", len(prog.Body))
+	}
+	if _, ok := prog.Body[0].(*ast.For); !ok {
+		t.Errorf("body[0] is %T, want *ast.For", prog.Body[0])
+	}
+	if _, ok := prog.Body[1].(*ast.Assign); !ok {
+		t.Errorf("body[1] is %T, want *ast.Assign", prog.Body[1])
+	}
+}
+
+func TestParseExplicitDirections(t *testing.T) {
+	src := `p(in buffer a, in buffer b, out buffer c) { move-p(a, c, 1); }`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs := []ast.Direction{ast.DirIn, ast.DirIn, ast.DirOut}
+	for i, d := range dirs {
+		if prog.Params[i].Dir != d {
+			t.Errorf("param %d dir = %v, want %v", i, prog.Params[i].Dir, d)
+		}
+	}
+}
+
+func TestParseProgramKeywordOptional(t *testing.T) {
+	for _, src := range []string{
+		`program p(buffer a, buffer b) { move-p(a, b, 1); }`,
+		`p(buffer a, buffer b) { move-p(a, b, 1); }`,
+	} {
+		if _, err := Parse(src); err != nil {
+			t.Errorf("%q: %v", src, err)
+		}
+	}
+}
+
+func TestParseFilter(t *testing.T) {
+	src := `p(buffer a, buffer b) {
+		fields flow, prio;
+		local int n;
+		n = backlog-p(a |> flow == 3);
+		move-p(a |> prio == 1, b, n);
+	}`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(prog.Fields); got != 2 {
+		t.Errorf("fields = %d, want 2", got)
+	}
+	asn := prog.Body[0].(*ast.Assign)
+	bl := asn.RHS.(*ast.Backlog)
+	f, ok := bl.Buf.(*ast.Filter)
+	if !ok {
+		t.Fatalf("backlog arg is %T, want *ast.Filter", bl.Buf)
+	}
+	if f.Field != "flow" {
+		t.Errorf("filter field = %q, want flow", f.Field)
+	}
+	mv := prog.Body[1].(*ast.Move)
+	if _, ok := mv.Src.(*ast.Filter); !ok {
+		t.Errorf("move source is %T, want *ast.Filter", mv.Src)
+	}
+}
+
+func TestParseChainedFilters(t *testing.T) {
+	src := `p(buffer a, buffer b) {
+		fields flow, prio;
+		local int n;
+		n = backlog-p(a |> flow == 1 |> prio == 2);
+	}`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bl := prog.Body[0].(*ast.Assign).RHS.(*ast.Backlog)
+	outer := bl.Buf.(*ast.Filter)
+	if outer.Field != "prio" {
+		t.Errorf("outer filter = %q, want prio", outer.Field)
+	}
+	inner := outer.Buf.(*ast.Filter)
+	if inner.Field != "flow" {
+		t.Errorf("inner filter = %q, want flow", inner.Field)
+	}
+}
+
+func TestParseMoveBytes(t *testing.T) {
+	src := `p(buffer a, buffer b) { move-b(a, b, backlog-b(a)); }`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mv := prog.Body[0].(*ast.Move)
+	if !mv.Bytes {
+		t.Error("move-b should set Bytes")
+	}
+	if bl := mv.Count.(*ast.Backlog); !bl.Bytes {
+		t.Error("backlog-b should set Bytes")
+	}
+}
+
+func TestParseAssertAssume(t *testing.T) {
+	src := `p(buffer a, buffer b) {
+		monitor int served;
+		assume(backlog-p(a) <= 5);
+		move-p(a, b, 1);
+		served = served + 1;
+		if (t == T-1) { assert(served >= T/2); }
+	}`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := prog.Body[0].(*ast.Assume); !ok {
+		t.Errorf("body[0] is %T, want *ast.Assume", prog.Body[0])
+	}
+	ifStmt := prog.Body[3].(*ast.If)
+	if _, ok := ifStmt.Then[0].(*ast.Assert); !ok {
+		t.Errorf("then[0] is %T, want *ast.Assert", ifStmt.Then[0])
+	}
+}
+
+func TestParseOperatorPrecedence(t *testing.T) {
+	src := `p(buffer a, buffer b) {
+		local bool x;
+		x = 1 + 2 * 3 == 7 & true | false;
+	}`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expect: ((((1 + (2*3)) == 7) & true) | false)
+	rhs := prog.Body[0].(*ast.Assign).RHS
+	want := "((((1 + (2 * 3)) == 7) & true) | false)"
+	if got := rhs.String(); got != want {
+		t.Errorf("precedence: got %s, want %s", got, want)
+	}
+}
+
+func TestParseUnderscoreAliases(t *testing.T) {
+	src := `p(buffer a, buffer b) {
+		local int n;
+		n = backlog_p(a);
+		move_p(a, b, n);
+	}`
+	if _, err := Parse(src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseHyphenIsStillMinus(t *testing.T) {
+	src := `p(buffer a, buffer b) {
+		local int backlog; local int x;
+		x = backlog - 1;
+		move-p(a, b, x);
+	}`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := prog.Body[0].(*ast.Assign).RHS.(*ast.Binary)
+	if bin.Op != ast.OpSub {
+		t.Errorf("op = %v, want -", bin.Op)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src     string
+		wantSub string
+	}{
+		{`p(buffer a, buffer b) { x = l.push_back(1) + 2; }`, "push_back is a statement"},
+		{`p(buffer a, buffer b) { 3 = 4; }`, "expected"},
+		{`p(buffer a, buffer b) { move-p(a, b); }`, "expected"},
+		{`p(buffer a, buffer b) { if x { } }`, "expected ("},
+		{``, "no program found"},
+		{`p(buffer a, buffer b) { l.frobnicate(); }`, "unknown method"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("%q: expected error containing %q, got none", c.src, c.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%q: error %q does not contain %q", c.src, err, c.wantSub)
+		}
+	}
+}
+
+func TestParseMultiplePrograms(t *testing.T) {
+	src := `
+a(buffer x, buffer y) { move-p(x, y, 1); }
+b(buffer x, buffer y) { move-p(x, y, 2); }
+`
+	progs, err := ParseFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(progs) != 2 || progs[0].Name != "a" || progs[1].Name != "b" {
+		t.Errorf("got %d programs", len(progs))
+	}
+}
+
+func TestParseElseIfChain(t *testing.T) {
+	src := `p(buffer a, buffer b) {
+		local int x;
+		if (x == 0) { x = 1; } else if (x == 1) { x = 2; } else { x = 3; }
+	}`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ifs := prog.Body[0].(*ast.If)
+	if len(ifs.Else) != 1 {
+		t.Fatalf("else arm has %d stmts", len(ifs.Else))
+	}
+	if _, ok := ifs.Else[0].(*ast.If); !ok {
+		t.Errorf("else-if not chained: %T", ifs.Else[0])
+	}
+}
+
+func TestParseDefaultField(t *testing.T) {
+	prog, err := Parse(`p(buffer a, buffer b) { move-p(a, b, 1); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Fields) != 1 || prog.Fields[0] != "flow" {
+		t.Errorf("default fields = %v, want [flow]", prog.Fields)
+	}
+}

@@ -1,0 +1,143 @@
+// Package token defines the lexical tokens of the Buffy language and
+// source-position tracking. The token set follows Figure 3 of the paper:
+// a small imperative core (variables, assignments, conditionals, bounded
+// loops) plus buffer-centric constructs (backlog-p, backlog-b, move-p,
+// move-b, the |> filter operator) and list operations.
+package token
+
+import "fmt"
+
+// Kind enumerates token kinds.
+type Kind int
+
+// Token kinds.
+const (
+	ILLEGAL Kind = iota
+	EOF
+
+	IDENT // fq, nq, head
+	INT   // 42
+	FIELD // field name after |> (lexically an IDENT; parser distinguishes)
+
+	// Operators and delimiters.
+	ASSIGN    // =
+	PLUS      // +
+	MINUS     // -
+	STAR      // *
+	SLASH     // /
+	PERCENT   // %
+	EQ        // ==
+	NEQ       // !=
+	LT        // <
+	LE        // <=
+	GT        // >
+	GE        // >=
+	NOT       // !
+	AND       // & or &&
+	OR        // | or ||
+	PIPE      // |> (buffer filter)
+	LPAREN    // (
+	RPAREN    // )
+	LBRACE    // {
+	RBRACE    // }
+	LBRACKET  // [
+	RBRACKET  // ]
+	COMMA     // ,
+	SEMICOLON // ;
+	DOT       // .
+	DOTDOT    // ..
+	COLON     // :
+
+	// Keywords.
+	KwProgram
+	KwBuffer
+	KwInt
+	KwBool
+	KwList
+	KwGlobal
+	KwLocal
+	KwMonitor
+	KwIf
+	KwElse
+	KwFor
+	KwIn
+	KwOut
+	KwDo
+	KwTrue
+	KwFalse
+	KwAssert
+	KwAssume
+	KwBacklogP // backlog-p
+	KwBacklogB // backlog-b
+	KwMoveP    // move-p
+	KwMoveB    // move-b
+	KwFields
+	KwParam
+	KwHavoc
+)
+
+var names = map[Kind]string{
+	ILLEGAL: "ILLEGAL", EOF: "EOF", IDENT: "IDENT", INT: "INT", FIELD: "FIELD",
+	ASSIGN: "=", PLUS: "+", MINUS: "-", STAR: "*", SLASH: "/", PERCENT: "%",
+	EQ: "==", NEQ: "!=", LT: "<", LE: "<=", GT: ">", GE: ">=",
+	NOT: "!", AND: "&", OR: "|", PIPE: "|>",
+	LPAREN: "(", RPAREN: ")", LBRACE: "{", RBRACE: "}",
+	LBRACKET: "[", RBRACKET: "]", COMMA: ",", SEMICOLON: ";",
+	DOT: ".", DOTDOT: "..", COLON: ":",
+	KwProgram: "program", KwBuffer: "buffer", KwInt: "int", KwBool: "bool",
+	KwList: "list", KwGlobal: "global", KwLocal: "local", KwMonitor: "monitor",
+	KwIf: "if", KwElse: "else", KwFor: "for", KwIn: "in", KwOut: "out",
+	KwDo: "do", KwTrue: "true", KwFalse: "false",
+	KwAssert: "assert", KwAssume: "assume",
+	KwBacklogP: "backlog-p", KwBacklogB: "backlog-b",
+	KwMoveP: "move-p", KwMoveB: "move-b",
+	KwFields: "fields", KwParam: "param", KwHavoc: "havoc",
+}
+
+func (k Kind) String() string {
+	if n, ok := names[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Keywords maps spellings to keyword kinds. The hyphenated buffer keywords
+// (backlog-p etc.) are matched by the lexer before generic identifiers.
+var Keywords = map[string]Kind{
+	"program": KwProgram, "buffer": KwBuffer, "int": KwInt, "bool": KwBool,
+	"list": KwList, "global": KwGlobal, "local": KwLocal, "monitor": KwMonitor,
+	"if": KwIf, "else": KwElse, "for": KwFor, "in": KwIn, "out": KwOut,
+	"do": KwDo, "true": KwTrue, "false": KwFalse,
+	"assert": KwAssert, "assume": KwAssume,
+	"backlog-p": KwBacklogP, "backlog-b": KwBacklogB,
+	"move-p": KwMoveP, "move-b": KwMoveB,
+	// Underscore spellings are accepted as aliases for convenience.
+	"backlog_p": KwBacklogP, "backlog_b": KwBacklogB,
+	"move_p": KwMoveP, "move_b": KwMoveB,
+	"fields": KwFields, "param": KwParam, "havoc": KwHavoc,
+}
+
+// Pos is a position in a source file.
+type Pos struct {
+	Line int // 1-based
+	Col  int // 1-based, in bytes
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// IsValid reports whether the position has been set.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+// Token is a lexical token with its position and literal text.
+type Token struct {
+	Kind Kind
+	Lit  string // literal text for IDENT/INT; empty otherwise
+	Pos  Pos
+}
+
+func (t Token) String() string {
+	if t.Lit != "" {
+		return fmt.Sprintf("%v(%s)", t.Kind, t.Lit)
+	}
+	return t.Kind.String()
+}

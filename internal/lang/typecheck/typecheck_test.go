@@ -1,0 +1,254 @@
+package typecheck
+
+import (
+	"strings"
+	"testing"
+
+	"buffy/internal/lang/parser"
+)
+
+func check(t *testing.T, src string) (*Info, error) {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return Check(prog)
+}
+
+func mustCheck(t *testing.T, src string) *Info {
+	t.Helper()
+	info, err := check(t, src)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return info
+}
+
+func wantErr(t *testing.T, src, sub string) {
+	t.Helper()
+	_, err := check(t, src)
+	if err == nil {
+		t.Fatalf("expected error containing %q, got none", sub)
+	}
+	if !strings.Contains(err.Error(), sub) {
+		t.Fatalf("error %q does not contain %q", err, sub)
+	}
+}
+
+const fig4 = `
+fq(buffer[N] ibs, buffer ob){
+  global list nq; global list oq;
+  for (i in 0..N) do{
+    if ( backlog-p(ibs[i]) > 0 & !oq.has(i) & !nq.has(i))
+      nq.enq(i);}
+  local bool dequeued; local int head;
+  local dequeued = false;
+  for (i in 0..N) do {
+    if (!dequeued) {
+      head = -1;
+      if (!nq.empty()) { head = nq.pop_front();}
+      else {
+        if (!oq.empty()) { head = oq.pop_front();}}
+      if (head != -1) {
+        if ( backlog-p(ibs[head]) > 1) {
+          oq.push_back(head);}
+        if ( backlog-p(ibs[head]) > 0) {
+          move-p(ibs[head], ob, 1);
+          dequeued = true;}}}}}
+`
+
+func TestCheckFigure4(t *testing.T) {
+	info := mustCheck(t, fig4)
+	if len(info.Params) != 1 || info.Params[0] != "N" {
+		t.Errorf("params = %v, want [N]", info.Params)
+	}
+	if len(info.Globals) != 2 || len(info.Locals) != 2 {
+		t.Errorf("globals=%d locals=%d, want 2,2", len(info.Globals), len(info.Locals))
+	}
+	if len(info.Inputs) != 1 || len(info.Outputs) != 1 {
+		t.Errorf("inputs=%d outputs=%d", len(info.Inputs), len(info.Outputs))
+	}
+}
+
+func TestCheckMonitorQuery(t *testing.T) {
+	info := mustCheck(t, `
+p(buffer a, buffer b) {
+	monitor int served;
+	move-p(a, b, 1);
+	served = served + 1;
+	if (t == T-1) { assert(served >= T/2); }
+}`)
+	if len(info.Monitors) != 1 {
+		t.Errorf("monitors = %d, want 1", len(info.Monitors))
+	}
+	if len(info.Params) != 0 {
+		t.Errorf("params = %v, want none (t and T are builtins)", info.Params)
+	}
+}
+
+func TestCheckErrors(t *testing.T) {
+	cases := []struct{ name, src, sub string }{
+		{"assign to buffer",
+			`p(buffer a, buffer b) { a = 3; }`, "cannot assign to buffer"},
+		{"assign to loop var",
+			`p(buffer a, buffer b) { for (i in 0..2) { i = 3; } }`, "loop variable"},
+		{"undeclared assignment",
+			`p(buffer a, buffer b) { x = 3; }`, "undeclared"},
+		{"bool plus int",
+			`p(buffer a, buffer b) { local int x; x = true + 1; }`, "must be int"},
+		{"if on int",
+			`p(buffer a, buffer b) { local int x; if (x) { } }`, "must be bool"},
+		{"monitor influences behaviour",
+			`p(buffer a, buffer b) { monitor int m; local int x; x = m; }`, "ghost"},
+		{"monitor in move count",
+			`p(buffer a, buffer b) { monitor int m; move-p(a, b, m); }`, "ghost"},
+		{"monitor in if condition",
+			`p(buffer a, buffer b) { monitor int m; if (m > 0) { move-p(a,b,1); } }`, "ghost"},
+		{"pop_front nested",
+			`p(buffer a, buffer b) { global list l; local int x; x = l.pop_front() + 1; }`, "entire right-hand side"},
+		{"pop into bool",
+			`p(buffer a, buffer b) { global list l; local bool q; q = l.pop_front(); }`, "yields int"},
+		{"push non-list",
+			`p(buffer a, buffer b) { local int x; x.push_back(1); }`, "non-list"},
+		{"has on int",
+			`p(buffer a, buffer b) { local int x; local bool q; q = x.has(3); }`, "non-list"},
+		{"backlog of int",
+			`p(buffer a, buffer b) { local int x; x = backlog-p(x); }`, "must be a buffer"},
+		{"unknown field",
+			`p(buffer a, buffer b) { local int x; x = backlog-p(a |> nosuch == 1); }`, "unknown packet field"},
+		{"move to filter",
+			`p(buffer a, buffer b) { move-p(a, b |> flow == 1, 1); }`, "cannot be a filtered view"},
+		{"redeclared var",
+			`p(buffer a, buffer b) { local int x; local bool x; }`, "redeclared"},
+		{"no output buffer",
+			`p(in buffer a) { local int x; x = 1; }`, "no output buffer"},
+		{"variable loop bound",
+			`p(buffer a, buffer b) { local int n; for (i in 0..n) { } }`, "compile-time constant"},
+		{"local list",
+			`p(buffer a, buffer b) { local list l; }`, "must be global"},
+		{"buffer decl",
+			`p(buffer a, buffer b) { global buffer q; }`, "only be program parameters"},
+		{"reserved t",
+			`p(buffer a, buffer b) { local int t; }`, "reserved"},
+		{"shadow buffer",
+			`p(buffer a, buffer b) { local int a; }`, "shadows buffer"},
+		{"index non-array",
+			`p(buffer a, buffer b) { local int x; x = x[0]; }`, "non-array"},
+		{"compare buffer",
+			`p(buffer a, buffer b) { local bool q; q = a == b; }`, "cannot compare buffer"},
+		{"whole array assign",
+			`p(buffer a, buffer b) { local int[3] arr; arr = 0; }`, "whole array"},
+		{"monitor pop",
+			`p(buffer a, buffer b) { global list l; monitor int m; m = l.pop_front(); }`, "ghost"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) { wantErr(t, c.src, c.sub) })
+	}
+}
+
+func TestCheckArrays(t *testing.T) {
+	info := mustCheck(t, `
+p(buffer[N] ins, buffer ob) {
+	global int[N] credit;
+	for (i in 0..N) {
+		credit[i] = credit[i] + 1;
+		if (credit[i] > 0 & backlog-p(ins[i]) > 0) {
+			move-p(ins[i], ob, 1);
+			credit[i] = credit[i] - 1;
+		}
+	}
+}`)
+	if len(info.Params) != 1 || info.Params[0] != "N" {
+		t.Errorf("params = %v", info.Params)
+	}
+}
+
+func TestCheckGhostReadInAssert(t *testing.T) {
+	mustCheck(t, `
+p(buffer a, buffer b) {
+	monitor int m;
+	m = m + backlog-p(a);
+	assert(m <= 100);
+	assume(m >= 0);
+	move-p(a, b, 1);
+}`)
+}
+
+func TestCheckFilterChain(t *testing.T) {
+	mustCheck(t, `
+p(buffer a, buffer b) {
+	fields flow, prio;
+	local int n;
+	n = backlog-p(a |> flow == 1 |> prio == 2);
+	move-p(a |> flow == 1, b, n);
+}`)
+}
+
+func TestCheckParamsSorted(t *testing.T) {
+	info := mustCheck(t, `
+p(buffer[Z] a, buffer b) {
+	local int x;
+	for (i in 0..Alpha) { x = x + M; }
+	move-p(a[0], b, x);
+}`)
+	want := []string{"Alpha", "M", "Z"}
+	if len(info.Params) != len(want) {
+		t.Fatalf("params = %v, want %v", info.Params, want)
+	}
+	for i := range want {
+		if info.Params[i] != want[i] {
+			t.Errorf("params[%d] = %q, want %q", i, info.Params[i], want[i])
+		}
+	}
+}
+
+func TestHavocChecks(t *testing.T) {
+	mustCheck(t, `p(buffer a, buffer b) {
+		local int x; global bool q;
+		havoc x;
+		havoc q;
+		assume(x >= 0);
+		move-p(a, b, x);
+	}`)
+	cases := []struct{ name, src, sub string }{
+		{"havoc undeclared",
+			`p(buffer a, buffer b) { havoc nosuch; move-p(a,b,1); }`, "undeclared"},
+		{"havoc monitor",
+			`p(buffer a, buffer b) { monitor int m; havoc m; move-p(a,b,1); }`, "ghost"},
+		{"havoc array",
+			`p(buffer a, buffer b) { local int[3] xs; havoc xs; move-p(a,b,1); }`, "whole array"},
+		{"havoc buffer",
+			`p(buffer a, buffer b) { havoc a; move-p(a,b,1); }`, "buffer"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) { wantErr(t, c.src, c.sub) })
+	}
+}
+
+func TestSymbolsResolved(t *testing.T) {
+	info := mustCheck(t, fig4)
+	kinds := map[SymKind]int{}
+	for _, sym := range info.Symbols {
+		kinds[sym.Kind]++
+	}
+	if kinds[SymVar] == 0 || kinds[SymBuffer] == 0 || kinds[SymLoopVar] == 0 {
+		t.Errorf("symbol kinds missing: %v", kinds)
+	}
+}
+
+func TestFieldIndices(t *testing.T) {
+	info := mustCheck(t, `p(buffer a, buffer b) {
+		fields flow, prio, size;
+		local int n;
+		n = backlog-p(a |> size == 1);
+		move-p(a, b, n);
+	}`)
+	if info.FieldIndex["flow"] != 0 || info.FieldIndex["prio"] != 1 || info.FieldIndex["size"] != 2 {
+		t.Errorf("field indices: %v", info.FieldIndex)
+	}
+}
+
+func TestDuplicateField(t *testing.T) {
+	wantErr(t, `p(buffer a, buffer b) { fields flow, flow; move-p(a, b, 1); }`, "duplicate packet field")
+}

@@ -1,0 +1,114 @@
+package fperfenc
+
+import (
+	"buffy/internal/smt/solver"
+	"buffy/internal/smt/term"
+)
+
+// EncodeFQ is the FPerf-style direct encoding of the buggy fair-queuing
+// scheduler of §2.1 — the hand-written counterpart of the 18-line Buffy
+// program in Figure 4 (qm.FQBuggyQuerySrc), instrumented with the same
+// starvation query. Every step of the scheduler's behaviour is spelled
+// out as explicit formula construction: guarded list mutations for
+// new_queues/old_queues, ite-chains for every ibs[head] access, and
+// per-iteration guard threading for the round-robin scan — the style of
+// Figure 1, where "deciding whether to demote a queue ... involves
+// directly constructing formulas with logical operators for each time
+// step and for each possible value of the head of new_queues".
+
+// BEGIN SCHEDULING LOGIC (counted for Table 1)
+func EncodeFQ(sv *solver.Solver, N, T int) *Encoding {
+	b := sv.Builder()
+	enc := &Encoding{N: N, T: T}
+	enc.Arrive = mkArrivals(sv, "fq", N, T)
+	// Queue backlogs, the two pointer lists, and the monitor.
+	qlen := make([]*term.Term, N)
+	for i := range qlen {
+		qlen[i] = b.IntConst(0)
+	}
+	nq := newSymList(b, listCap(N))
+	oq := newSymList(b, listCap(N))
+	cdeq1 := b.IntConst(0)
+	var assumes []*term.Term
+
+	for t := 0; t < T; t++ {
+		// Input traffic flushes into the queues at the start of the step.
+		for i := 0; i < N; i++ {
+			qlen[i] = arriveInto(b, qlen[i], enc.Arrive[i][t])
+		}
+		// Workload assumption: queue 1 always has outstanding demand.
+		assumes = append(assumes, b.Lt(b.IntConst(0), qlen[1]))
+
+		// Activation scan: a backlogged queue in neither list joins
+		// new_queues. One guarded push per queue, in index order.
+		for i := 0; i < N; i++ {
+			iT := b.IntConst(int64(i))
+			active := b.Or(nq.has(b, iT), oq.has(b, iT))
+			cond := b.And(b.Lt(b.IntConst(0), qlen[i]), b.Not(active))
+			nq.pushBack(b, iT, cond)
+		}
+
+		// Dequeue scan: up to N attempts to find a transmitting queue.
+		dequeued := b.False()
+		head := b.IntConst(0)
+		servedThis := make([]*term.Term, N)
+		for i := range servedThis {
+			servedThis[i] = b.False()
+		}
+		for i := 0; i < N; i++ {
+			g0 := b.Not(dequeued)
+			head = b.Ite(g0, b.IntConst(-1), head)
+			// The emptiness test must be snapshotted BEFORE the guarded
+			// pop mutates the list — evaluating it afterwards double-pops
+			// when new_queues held exactly one entry. (A bug of exactly
+			// the kind §2.2 warns hand encodings invite; our differential
+			// test against the Buffy pipeline caught it.)
+			nqEmpty := nq.empty(b)
+			// head = nq.pop_front() when new_queues is non-empty...
+			g1 := b.And(g0, b.Not(nqEmpty))
+			h1 := nq.popFront(b, g1)
+			head = b.Ite(g1, h1, head)
+			// ...otherwise the head of old_queues transmits.
+			g2 := b.And(g0, nqEmpty, b.Not(oq.empty(b)))
+			h2 := oq.popFront(b, g2)
+			head = b.Ite(g2, h2, head)
+
+			g3 := b.And(g0, b.Neq(head, b.IntConst(-1)))
+			backlogAtHead := selectByIndex(b, qlen, head)
+			// Demotion (the buggy part: a queue that will empty is
+			// deactivated instead of demoted — no push happens for it).
+			demote := b.And(g3, b.Lt(b.IntConst(1), backlogAtHead))
+			oq.pushBack(b, head, demote)
+			// Transmission.
+			serve := b.And(g3, b.Lt(b.IntConst(0), backlogAtHead))
+			qlen = decrementAt(b, qlen, head, serve)
+			dequeued = b.Or(dequeued, serve)
+			for k := 0; k < N; k++ {
+				hit := b.And(serve, b.Eq(head, b.IntConst(int64(k))))
+				servedThis[k] = b.Or(servedThis[k], hit)
+			}
+			cdeq1 = b.Add(cdeq1, boolToInt(b, b.And(serve, b.Eq(head, b.IntConst(1)))))
+		}
+
+		// Record the step's observables.
+		enc.QLen = appendColumn(enc.QLen, qlen)
+		enc.Served = appendColumn(enc.Served, servedThis)
+		enc.CDeq1 = append(enc.CDeq1, cdeq1)
+	}
+	enc.Assume = b.And(assumes...)
+	enc.Query = b.Le(enc.CDeq1[T-1], b.IntConst(1))
+	return enc
+}
+
+// END SCHEDULING LOGIC
+
+// appendColumn transposes per-step values into the [queue][step] layout.
+func appendColumn(dst [][]*term.Term, col []*term.Term) [][]*term.Term {
+	if dst == nil {
+		dst = make([][]*term.Term, len(col))
+	}
+	for i, v := range col {
+		dst[i] = append(dst[i], v)
+	}
+	return dst
+}

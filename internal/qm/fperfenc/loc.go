@@ -1,0 +1,55 @@
+package fperfenc
+
+import (
+	_ "embed"
+	"strings"
+)
+
+// The Table 1 comparison measures the scheduling logic a user writes by
+// hand against the corresponding Buffy program. Each encoding file embeds
+// itself so the harness can count its lines at run time; the
+// scheduler-agnostic list/queue plumbing in fperfenc.go is excluded, just
+// as the paper excludes FPerf's shared constraint library from the
+// "scheduling logic alone is ~200 lines" figure.
+
+//go:embed fq.go
+var fqSource string
+
+//go:embed rr.go
+var rrSource string
+
+//go:embed sp.go
+var spSource string
+
+const (
+	beginMark = "// BEGIN SCHEDULING LOGIC"
+	endMark   = "// END SCHEDULING LOGIC"
+)
+
+// countRegion counts non-blank, non-comment lines between the markers.
+func countRegion(src string) int {
+	start := strings.Index(src, beginMark)
+	end := strings.Index(src, endMark)
+	if start < 0 || end < 0 || end < start {
+		return 0
+	}
+	body := src[start:end]
+	n := 0
+	for _, line := range strings.Split(body, "\n") {
+		s := strings.TrimSpace(line)
+		if s == "" || strings.HasPrefix(s, "//") {
+			continue
+		}
+		n++
+	}
+	return n
+}
+
+// LoCFQ returns the hand-encoded FQ scheduler's line count.
+func LoCFQ() int { return countRegion(fqSource) }
+
+// LoCRR returns the hand-encoded round-robin scheduler's line count.
+func LoCRR() int { return countRegion(rrSource) }
+
+// LoCSP returns the hand-encoded strict-priority scheduler's line count.
+func LoCSP() int { return countRegion(spSource) }

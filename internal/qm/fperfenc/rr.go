@@ -1,0 +1,64 @@
+package fperfenc
+
+import (
+	"buffy/internal/smt/solver"
+	"buffy/internal/smt/term"
+)
+
+// EncodeRR is the FPerf-style direct encoding of the round-robin
+// scheduler (qm.RRQuerySrc): a persistent next-pointer, a scan with
+// hand-threaded guards, and the wrap-around arithmetic written out as
+// explicit ite terms.
+
+// BEGIN SCHEDULING LOGIC (counted for Table 1)
+func EncodeRR(sv *solver.Solver, N, T int) *Encoding {
+	b := sv.Builder()
+	enc := &Encoding{N: N, T: T}
+	enc.Arrive = mkArrivals(sv, "rr", N, T)
+	qlen := make([]*term.Term, N)
+	for i := range qlen {
+		qlen[i] = b.IntConst(0)
+	}
+	next := b.IntConst(0)
+	cdeq1 := b.IntConst(0)
+	var assumes []*term.Term
+
+	for t := 0; t < T; t++ {
+		for i := 0; i < N; i++ {
+			qlen[i] = arriveInto(b, qlen[i], enc.Arrive[i][t])
+		}
+		assumes = append(assumes, b.Lt(b.IntConst(0), qlen[1]))
+
+		dequeued := b.False()
+		servedThis := make([]*term.Term, N)
+		for i := range servedThis {
+			servedThis[i] = b.False()
+		}
+		for i := 0; i < N; i++ {
+			// j = (next + i) mod N, written as compare-and-subtract.
+			j := b.Add(next, b.IntConst(int64(i)))
+			j = b.Ite(b.Ge(j, b.IntConst(int64(N))), b.Sub(j, b.IntConst(int64(N))), j)
+			backlogAtJ := selectByIndex(b, qlen, j)
+			serve := b.And(b.Not(dequeued), b.Lt(b.IntConst(0), backlogAtJ))
+			qlen = decrementAt(b, qlen, j, serve)
+			// Advance the pointer past the served queue, with wrap-around.
+			adv := b.Add(j, b.IntConst(1))
+			adv = b.Ite(b.Ge(adv, b.IntConst(int64(N))), b.IntConst(0), adv)
+			next = b.Ite(serve, adv, next)
+			dequeued = b.Or(dequeued, serve)
+			for k := 0; k < N; k++ {
+				hit := b.And(serve, b.Eq(j, b.IntConst(int64(k))))
+				servedThis[k] = b.Or(servedThis[k], hit)
+			}
+			cdeq1 = b.Add(cdeq1, boolToInt(b, b.And(serve, b.Eq(j, b.IntConst(1)))))
+		}
+		enc.QLen = appendColumn(enc.QLen, qlen)
+		enc.Served = appendColumn(enc.Served, servedThis)
+		enc.CDeq1 = append(enc.CDeq1, cdeq1)
+	}
+	enc.Assume = b.And(assumes...)
+	enc.Query = b.Le(enc.CDeq1[T-1], b.IntConst(1))
+	return enc
+}
+
+// END SCHEDULING LOGIC

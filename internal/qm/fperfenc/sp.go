@@ -1,0 +1,49 @@
+package fperfenc
+
+import (
+	"buffy/internal/smt/solver"
+	"buffy/internal/smt/term"
+)
+
+// EncodeSP is the FPerf-style direct encoding of the strict-priority
+// scheduler (qm.SPQuerySrc): serve the lowest-index non-empty queue.
+
+// BEGIN SCHEDULING LOGIC (counted for Table 1)
+func EncodeSP(sv *solver.Solver, N, T int) *Encoding {
+	b := sv.Builder()
+	enc := &Encoding{N: N, T: T}
+	enc.Arrive = mkArrivals(sv, "sp", N, T)
+	qlen := make([]*term.Term, N)
+	for i := range qlen {
+		qlen[i] = b.IntConst(0)
+	}
+	cdeq1 := b.IntConst(0)
+	var assumes []*term.Term
+
+	for t := 0; t < T; t++ {
+		for i := 0; i < N; i++ {
+			qlen[i] = arriveInto(b, qlen[i], enc.Arrive[i][t])
+		}
+		assumes = append(assumes, b.Lt(b.IntConst(0), qlen[1]))
+
+		dequeued := b.False()
+		servedThis := make([]*term.Term, N)
+		for i := 0; i < N; i++ {
+			serve := b.And(b.Not(dequeued), b.Lt(b.IntConst(0), qlen[i]))
+			qlen[i] = b.Ite(serve, b.Sub(qlen[i], b.IntConst(1)), qlen[i])
+			dequeued = b.Or(dequeued, serve)
+			servedThis[i] = serve
+			if i == 1 {
+				cdeq1 = b.Add(cdeq1, boolToInt(b, serve))
+			}
+		}
+		enc.QLen = appendColumn(enc.QLen, qlen)
+		enc.Served = appendColumn(enc.Served, servedThis)
+		enc.CDeq1 = append(enc.CDeq1, cdeq1)
+	}
+	enc.Assume = b.And(assumes...)
+	enc.Query = b.Le(enc.CDeq1[T-1], b.IntConst(1))
+	return enc
+}
+
+// END SCHEDULING LOGIC

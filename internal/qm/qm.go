@@ -1,0 +1,151 @@
+// Package qm is Buffy's model library: the Buffy sources for every network
+// component the paper analyzes — the buggy FQ-CoDel-inspired fair-queuing
+// scheduler of Figure 4 and its RFC 8290 fix, round-robin and
+// strict-priority schedulers (Table 1), and the three CCAC components
+// (AIMD congestion control, nondeterministic token-bucket path server,
+// fixed-delay server) that compose into Figure 7's model.
+package qm
+
+import (
+	_ "embed"
+	"strings"
+
+	"buffy/internal/lang/parser"
+	"buffy/internal/lang/typecheck"
+)
+
+// FQBuggySrc is the buggy fair-queuing scheduler exactly as in Figure 4.
+// The bug (§2.1): a queue in new_queues that empties is deactivated
+// immediately, so its next packet re-enters new_queues — which is
+// prioritized — letting it starve queues in old_queues indefinitely.
+//
+//go:embed models/fq_buggy.buffy
+var FQBuggySrc string
+
+// FQBuggyQuerySrc instruments the buggy scheduler with FPerf's starvation
+// query (§6.1): the monitor cdeq1 counts packets dequeued from input
+// buffer 1, and the query asks whether queue 1 — despite having traffic
+// waiting in every single step — can end up served at most once over the
+// whole horizon. On the buggy scheduler a witness exists: queue 0's flow
+// keeps re-entering the prioritized new_queues list and starves queue 1
+// exactly as RFC 8290 warns.
+//
+//go:embed models/fq_buggy_query.buffy
+var FQBuggyQuerySrc string
+
+// FQFixedQuerySrc applies RFC 8290's fix to the same instrumented
+// scheduler: a queue served from new_queues is always demoted to
+// old_queues (even if it just emptied), and an empty queue is only
+// deactivated when it reaches the head of old_queues — after every other
+// old queue has had its turn. Under the same query and demand assumption,
+// queue 0 can no longer monopolize service.
+//
+//go:embed models/fq_fixed_query.buffy
+var FQFixedQuerySrc string
+
+// RRSrc is a round-robin scheduler: serve the first non-empty queue at or
+// after the last served position.
+//
+//go:embed models/rr.buffy
+var RRSrc string
+
+// RRQuerySrc instruments round-robin with the same starvation query used
+// for FQ; round-robin serves queue 1 at least every other step while it
+// has demand, so the witness search must fail.
+//
+//go:embed models/rr_query.buffy
+var RRQuerySrc string
+
+// SPSrc is a strict-priority scheduler: lower index = higher priority.
+//
+//go:embed models/sp.buffy
+var SPSrc string
+
+// SPQuerySrc instruments strict priority with the starvation query. A
+// higher-priority queue legally starves queue 1 by design, so a witness
+// must exist (and trivially so).
+//
+//go:embed models/sp_query.buffy
+var SPQuerySrc string
+
+// PathServerSrc is CCAC's generalized, nondeterministic token-bucket path
+// server (§6.2). Per step (one RTT-granularity tick) it gains C tokens
+// (capped at C+B) and serves a havoc-chosen amount bounded above by both
+// tokens and backlog, and below by tokens-B (the token bucket's service
+// guarantee: it cannot fall more than a burst B behind rate C) unless the
+// queue runs dry. Unused credit beyond the cap is wasted. Serviced packets
+// leave through pab (they double as acks in the Figure 7 composition); the
+// delivered monitor stands in for Figure 7's serviced-data sink.
+//
+//go:embed models/path_server.buffy
+var PathServerSrc string
+
+// DelaySrc is a fixed-delay server stage: everything that arrived this
+// step leaves at the end of it, so each composed stage adds one step of
+// delay (chain D copies for a delay of D).
+//
+//go:embed models/delay.buffy
+var DelaySrc string
+
+// AIMDSrc is an additive-increase congestion-control sender at RTT
+// granularity: each step it absorbs the acks that came back, grows its
+// window by 1 per acked round, shrinks additively when a round yields no
+// acks while data is outstanding (a loss signal), and sends up to
+// cwnd - inflight new packets from the application buffer. (CCAC's
+// multiplicative decrease needs run-time division, which Buffy's solver
+// profile excludes (§7); an additive decrease preserves the case study's
+// behaviour — the ack-burst loss happens on the increase path.)
+//
+//go:embed models/aimd.buffy
+var AIMDSrc string
+
+// DRRSrc is a deficit-round-robin scheduler at one-departure-per-step
+// granularity: each queue accumulates a quantum Q of service credit when
+// the rotor reaches it, spends one credit per transmitted packet, and
+// forfeits its credit when idle. The embedded assert states work
+// conservation: whenever any queue is backlogged, a packet departs.
+//
+//go:embed models/drr.buffy
+var DRRSrc string
+
+// ShaperSrc is a byte-granularity token-bucket traffic shaper: per step it
+// gains RATE bytes of credit (capped at BURST) and releases the maximal
+// FIFO prefix of packets that fits in the credit — packets block on their
+// full size (a half-transmitted packet never departs). The asserts state
+// the shaper property: output bytes never exceed the token-bucket envelope
+// RATE*t + BURST.
+//
+//go:embed models/shaper.buffy
+var ShaperSrc string
+
+// Load parses and checks a Buffy source.
+func Load(src string) (*typecheck.Info, error) {
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return typecheck.Check(prog)
+}
+
+// MustLoad is Load for known-good embedded sources.
+func MustLoad(src string) *typecheck.Info {
+	info, err := Load(src)
+	if err != nil {
+		panic("qm: embedded source failed to load: " + err.Error())
+	}
+	return info
+}
+
+// CountLoC counts the non-blank, non-comment lines of a Buffy source —
+// the measure used in Table 1's language-size comparison.
+func CountLoC(src string) int {
+	n := 0
+	for _, line := range strings.Split(src, "\n") {
+		s := strings.TrimSpace(line)
+		if s == "" || strings.HasPrefix(s, "//") {
+			continue
+		}
+		n++
+	}
+	return n
+}

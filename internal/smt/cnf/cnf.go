@@ -1,0 +1,122 @@
+// Package cnf defines literals, clauses and formulas in conjunctive normal
+// form, the input language of the CDCL SAT solver. Variables are dense
+// positive integers; literals use the standard 2v / 2v+1 encoding so that a
+// literal's negation is a single xor.
+package cnf
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Var is a propositional variable, numbered from 1.
+type Var int32
+
+// Lit is a literal: variable 2v for positive, 2v+1 for negative.
+type Lit int32
+
+// LitUndef is the sentinel "no literal" value.
+const LitUndef Lit = -1
+
+// PosLit returns the positive literal of v.
+func PosLit(v Var) Lit { return Lit(v << 1) }
+
+// NegLit returns the negative literal of v.
+func NegLit(v Var) Lit { return Lit(v<<1 | 1) }
+
+// MkLit returns the literal of v with the given sign (true = negated).
+func MkLit(v Var, neg bool) Lit {
+	if neg {
+		return NegLit(v)
+	}
+	return PosLit(v)
+}
+
+// Var returns the literal's variable.
+func (l Lit) Var() Var { return Var(l >> 1) }
+
+// Neg returns the complementary literal.
+func (l Lit) Neg() Lit { return l ^ 1 }
+
+// Sign reports whether the literal is negative.
+func (l Lit) Sign() bool { return l&1 == 1 }
+
+func (l Lit) String() string {
+	if l == LitUndef {
+		return "undef"
+	}
+	if l.Sign() {
+		return fmt.Sprintf("-%d", l.Var())
+	}
+	return fmt.Sprintf("%d", l.Var())
+}
+
+// Clause is a disjunction of literals.
+type Clause []Lit
+
+func (c Clause) String() string {
+	parts := make([]string, len(c))
+	for i, l := range c {
+		parts[i] = l.String()
+	}
+	return "(" + strings.Join(parts, " ") + ")"
+}
+
+// Formula is a CNF formula under construction: a set of clauses over
+// variables 1..NumVars.
+type Formula struct {
+	numVars int32
+	Clauses []Clause
+}
+
+// New returns an empty formula.
+func New() *Formula { return &Formula{} }
+
+// NumVars returns the highest variable number allocated.
+func (f *Formula) NumVars() int { return int(f.numVars) }
+
+// NewVar allocates a fresh variable.
+func (f *Formula) NewVar() Var {
+	f.numVars++
+	return Var(f.numVars)
+}
+
+// AddClause appends a clause. The clause is copied; the caller may reuse the
+// slice. Tautological clauses (containing l and ¬l) are dropped and
+// duplicate literals removed.
+func (f *Formula) AddClause(lits ...Lit) {
+	seen := make(map[Lit]struct{}, len(lits))
+	out := make(Clause, 0, len(lits))
+	for _, l := range lits {
+		if _, ok := seen[l.Neg()]; ok {
+			return // tautology
+		}
+		if _, ok := seen[l]; ok {
+			continue
+		}
+		seen[l] = struct{}{}
+		out = append(out, l)
+	}
+	f.Clauses = append(f.Clauses, out)
+}
+
+// NumClauses returns the clause count.
+func (f *Formula) NumClauses() int { return len(f.Clauses) }
+
+// Dimacs renders the formula in DIMACS CNF format, the standard SAT solver
+// interchange format.
+func (f *Formula) Dimacs() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "p cnf %d %d\n", f.numVars, len(f.Clauses))
+	for _, c := range f.Clauses {
+		for _, l := range c {
+			if l.Sign() {
+				fmt.Fprintf(&b, "-%d ", l.Var())
+			} else {
+				fmt.Fprintf(&b, "%d ", l.Var())
+			}
+		}
+		b.WriteString("0\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,93 @@
+package cnf
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestLitEncoding(t *testing.T) {
+	v := Var(7)
+	p, n := PosLit(v), NegLit(v)
+	if p.Var() != v || n.Var() != v {
+		t.Error("Var round-trip failed")
+	}
+	if p.Sign() || !n.Sign() {
+		t.Error("sign bits wrong")
+	}
+	if p.Neg() != n || n.Neg() != p {
+		t.Error("negation is not an involution step")
+	}
+	if MkLit(v, false) != p || MkLit(v, true) != n {
+		t.Error("MkLit mismatch")
+	}
+}
+
+func TestQuickLitNegInvolution(t *testing.T) {
+	f := func(raw uint16) bool {
+		v := Var(raw%1000 + 1)
+		for _, l := range []Lit{PosLit(v), NegLit(v)} {
+			if l.Neg().Neg() != l || l.Neg().Var() != l.Var() || l.Neg().Sign() == l.Sign() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFormulaBasics(t *testing.T) {
+	f := New()
+	a, b := f.NewVar(), f.NewVar()
+	if f.NumVars() != 2 {
+		t.Errorf("NumVars = %d", f.NumVars())
+	}
+	f.AddClause(PosLit(a), NegLit(b))
+	if f.NumClauses() != 1 {
+		t.Errorf("NumClauses = %d", f.NumClauses())
+	}
+}
+
+func TestTautologyDropped(t *testing.T) {
+	f := New()
+	a := f.NewVar()
+	f.AddClause(PosLit(a), NegLit(a))
+	if f.NumClauses() != 0 {
+		t.Error("tautological clause should be dropped")
+	}
+}
+
+func TestDuplicateLiteralsRemoved(t *testing.T) {
+	f := New()
+	a, b := f.NewVar(), f.NewVar()
+	f.AddClause(PosLit(a), PosLit(a), NegLit(b))
+	if got := len(f.Clauses[0]); got != 2 {
+		t.Errorf("clause length = %d, want 2", got)
+	}
+}
+
+func TestDimacs(t *testing.T) {
+	f := New()
+	a, b := f.NewVar(), f.NewVar()
+	f.AddClause(PosLit(a), NegLit(b))
+	f.AddClause(NegLit(a))
+	out := f.Dimacs()
+	if !strings.HasPrefix(out, "p cnf 2 2\n") {
+		t.Errorf("bad header: %q", out)
+	}
+	if !strings.Contains(out, "1 -2 0") || !strings.Contains(out, "-1 0") {
+		t.Errorf("bad body: %q", out)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	c := Clause{PosLit(3), NegLit(4)}
+	if got := c.String(); got != "(3 -4)" {
+		t.Errorf("clause string = %q", got)
+	}
+	if LitUndef.String() != "undef" {
+		t.Error("undef rendering")
+	}
+}

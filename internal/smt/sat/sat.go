@@ -1,0 +1,818 @@
+// Package sat implements a CDCL (conflict-driven clause learning) SAT
+// solver: two-watched-literal propagation, first-UIP clause learning with
+// recursive minimization, VSIDS branching with phase saving, Luby restarts
+// and LBD-based learnt-clause reduction. It is the decision procedure at the
+// bottom of Buffy's solver stack; the bit-blasting layer reduces bounded
+// integer formulas to the CNF this package solves.
+package sat
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"buffy/internal/smt/cnf"
+)
+
+// Status is the outcome of a Solve call.
+type Status int
+
+// Solve outcomes.
+const (
+	Unknown Status = iota // budget exhausted
+	Sat
+	Unsat
+)
+
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "sat"
+	case Unsat:
+		return "unsat"
+	}
+	return "unknown"
+}
+
+type lbool uint8
+
+const (
+	lUndef lbool = iota
+	lTrue
+	lFalse
+)
+
+func boolToLbool(b bool) lbool {
+	if b {
+		return lTrue
+	}
+	return lFalse
+}
+
+type clause struct {
+	lits   []cnf.Lit
+	lbd    uint32
+	act    float32
+	learnt bool
+}
+
+type watcher struct {
+	c       *clause
+	blocker cnf.Lit
+}
+
+// Stats records search effort counters.
+type Stats struct {
+	Conflicts    int64
+	Decisions    int64
+	Propagations int64
+	Restarts     int64
+	Learnt       int64
+	Removed      int64
+}
+
+// Limits bounds a Solve call. Zero values mean unlimited.
+type Limits struct {
+	MaxConflicts int64
+	Deadline     time.Time
+}
+
+// Solver is a CDCL SAT solver. Create with New, add variables and clauses,
+// then call Solve. A Solver may be re-solved after adding more clauses
+// (incremental use); learnt clauses are retained.
+type Solver struct {
+	clauses []*clause // problem clauses
+	learnts []*clause
+
+	watches [][]watcher // indexed by lit
+
+	assign   []lbool // indexed by var
+	level    []int32 // indexed by var
+	reason   []*clause
+	phase    []bool // saved phase, indexed by var
+	activity []float64
+	varInc   float64
+
+	heap    []cnf.Var // binary max-heap on activity
+	heapPos []int32   // var -> heap index, -1 if absent
+
+	trail    []cnf.Lit
+	trailLim []int32 // decision level -> trail index
+	qhead    int
+
+	numVars int
+	ok      bool // false once a top-level conflict is found
+
+	stats Stats
+
+	// debug enables expensive internal invariant checking after every
+	// propagation fixpoint; used by fuzz-style tests.
+	debug bool
+
+	seen    []bool // analyze scratch
+	minStk  []cnf.Lit
+	clearBf []cnf.Var
+
+	claInc float32
+}
+
+// New returns an empty solver.
+func New() *Solver {
+	s := &Solver{ok: true, varInc: 1.0, claInc: 1.0}
+	s.ensureVar(0)
+	return s
+}
+
+// NewVar allocates a fresh variable.
+func (s *Solver) NewVar() cnf.Var {
+	s.numVars++
+	v := cnf.Var(s.numVars)
+	s.ensureVar(v)
+	return v
+}
+
+func (s *Solver) ensureVar(v cnf.Var) {
+	need := int(v) + 1
+	for len(s.assign) < need {
+		s.assign = append(s.assign, lUndef)
+		s.level = append(s.level, 0)
+		s.reason = append(s.reason, nil)
+		s.phase = append(s.phase, false)
+		s.activity = append(s.activity, 0)
+		s.heapPos = append(s.heapPos, -1)
+		s.seen = append(s.seen, false)
+	}
+	for len(s.watches) < 2*need {
+		s.watches = append(s.watches, nil)
+	}
+}
+
+// ImportVars makes sure variables up to n exist (for loading a cnf.Formula).
+func (s *Solver) ImportVars(n int) {
+	for s.numVars < n {
+		s.NewVar()
+	}
+}
+
+// LoadFormula imports all clauses of f.
+func (s *Solver) LoadFormula(f *cnf.Formula) bool {
+	s.ImportVars(f.NumVars())
+	for _, c := range f.Clauses {
+		if !s.AddClause(c...) {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Solver) litValue(l cnf.Lit) lbool {
+	v := s.assign[l.Var()]
+	if v == lUndef {
+		return lUndef
+	}
+	if l.Sign() {
+		if v == lTrue {
+			return lFalse
+		}
+		return lTrue
+	}
+	return v
+}
+
+// AddClause adds a problem clause. It returns false if the clause set is now
+// unsatisfiable at the top level. Must be called at decision level 0 (i.e.
+// between Solve calls).
+func (s *Solver) AddClause(lits ...cnf.Lit) bool {
+	if !s.ok {
+		return false
+	}
+	// A previous Sat result leaves the model on the trail at a positive
+	// decision level; new clauses are always added at level 0.
+	s.backtrackTo(0)
+	// Simplify: drop false lits, detect satisfied/tautological clauses.
+	out := make([]cnf.Lit, 0, len(lits))
+	seen := make(map[cnf.Lit]struct{}, len(lits))
+	for _, l := range lits {
+		if int(l.Var()) > s.numVars {
+			s.ImportVars(int(l.Var()))
+		}
+		switch s.litValue(l) {
+		case lTrue:
+			return true // already satisfied
+		case lFalse:
+			continue
+		}
+		if _, dup := seen[l]; dup {
+			continue
+		}
+		if _, taut := seen[l.Neg()]; taut {
+			return true
+		}
+		seen[l] = struct{}{}
+		out = append(out, l)
+	}
+	switch len(out) {
+	case 0:
+		s.ok = false
+		return false
+	case 1:
+		s.uncheckedEnqueue(out[0], nil)
+		if s.propagate() != nil {
+			s.ok = false
+			return false
+		}
+		return true
+	}
+	c := &clause{lits: out}
+	s.clauses = append(s.clauses, c)
+	s.attach(c)
+	return true
+}
+
+func (s *Solver) attach(c *clause) {
+	l0, l1 := c.lits[0], c.lits[1]
+	s.watches[l0.Neg()] = append(s.watches[l0.Neg()], watcher{c, l1})
+	s.watches[l1.Neg()] = append(s.watches[l1.Neg()], watcher{c, l0})
+}
+
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+func (s *Solver) uncheckedEnqueue(l cnf.Lit, from *clause) {
+	v := l.Var()
+	s.assign[v] = boolToLbool(!l.Sign())
+	s.level[v] = int32(s.decisionLevel())
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+}
+
+// propagate performs unit propagation; returns a conflicting clause or nil.
+func (s *Solver) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		s.stats.Propagations++
+		ws := s.watches[p]
+		i, j := 0, 0
+		var confl *clause
+		for i < len(ws) {
+			w := ws[i]
+			// Quick check: blocker already true?
+			if s.litValue(w.blocker) == lTrue {
+				ws[j] = w
+				i++
+				j++
+				continue
+			}
+			c := w.c
+			// Make sure the false literal is lits[1].
+			falseLit := p.Neg()
+			if c.lits[0] == falseLit {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			first := c.lits[0]
+			if first != w.blocker && s.litValue(first) == lTrue {
+				ws[j] = watcher{c, first}
+				i++
+				j++
+				continue
+			}
+			// Look for a new literal to watch.
+			found := false
+			for k := 2; k < len(c.lits); k++ {
+				if s.litValue(c.lits[k]) != lFalse {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					nl := c.lits[1]
+					s.watches[nl.Neg()] = append(s.watches[nl.Neg()], watcher{c, first})
+					found = true
+					break
+				}
+			}
+			if found {
+				i++
+				continue // watcher moved; do not keep
+			}
+			// Clause is unit or conflicting.
+			ws[j] = watcher{c, first}
+			i++
+			j++
+			if s.litValue(first) == lFalse {
+				confl = c
+				s.qhead = len(s.trail)
+				// copy the remaining watchers
+				for i < len(ws) {
+					ws[j] = ws[i]
+					i++
+					j++
+				}
+				break
+			}
+			s.uncheckedEnqueue(first, c)
+		}
+		s.watches[p] = ws[:j]
+		if confl != nil {
+			return confl
+		}
+	}
+	return nil
+}
+
+// --- VSIDS heap ---
+
+func (s *Solver) heapLess(a, b cnf.Var) bool { return s.activity[a] > s.activity[b] }
+
+func (s *Solver) heapUp(i int) {
+	v := s.heap[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.heapLess(v, s.heap[parent]) {
+			break
+		}
+		s.heap[i] = s.heap[parent]
+		s.heapPos[s.heap[i]] = int32(i)
+		i = parent
+	}
+	s.heap[i] = v
+	s.heapPos[v] = int32(i)
+}
+
+func (s *Solver) heapDown(i int) {
+	v := s.heap[i]
+	n := len(s.heap)
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if c+1 < n && s.heapLess(s.heap[c+1], s.heap[c]) {
+			c++
+		}
+		if !s.heapLess(s.heap[c], v) {
+			break
+		}
+		s.heap[i] = s.heap[c]
+		s.heapPos[s.heap[i]] = int32(i)
+		i = c
+	}
+	s.heap[i] = v
+	s.heapPos[v] = int32(i)
+}
+
+func (s *Solver) heapInsert(v cnf.Var) {
+	if s.heapPos[v] >= 0 {
+		return
+	}
+	s.heap = append(s.heap, v)
+	s.heapPos[v] = int32(len(s.heap) - 1)
+	s.heapUp(len(s.heap) - 1)
+}
+
+func (s *Solver) heapPop() cnf.Var {
+	v := s.heap[0]
+	last := len(s.heap) - 1
+	s.heap[0] = s.heap[last]
+	s.heapPos[s.heap[0]] = 0
+	s.heap = s.heap[:last]
+	s.heapPos[v] = -1
+	if len(s.heap) > 0 {
+		s.heapDown(0)
+	}
+	return v
+}
+
+func (s *Solver) bumpVar(v cnf.Var) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	if s.heapPos[v] >= 0 {
+		s.heapUp(int(s.heapPos[v]))
+	}
+}
+
+func (s *Solver) decayVar() { s.varInc /= 0.95 }
+
+func (s *Solver) bumpClause(c *clause) {
+	c.act += s.claInc
+	if c.act > 1e20 {
+		for _, lc := range s.learnts {
+			lc.act *= 1e-20
+		}
+		s.claInc *= 1e-20
+	}
+}
+
+func (s *Solver) decayClause() { s.claInc /= 0.999 }
+
+// --- conflict analysis ---
+
+// analyze performs first-UIP learning. It returns the learnt clause (with
+// the asserting literal first) and the backtrack level.
+func (s *Solver) analyze(confl *clause) ([]cnf.Lit, int) {
+	learnt := []cnf.Lit{cnf.LitUndef} // reserve slot 0 for the asserting literal
+	counter := 0
+	idx := len(s.trail) - 1
+	var p cnf.Lit = cnf.LitUndef
+	c := confl
+
+	for {
+		s.bumpClause(c)
+		start := 0
+		if p != cnf.LitUndef {
+			start = 1 // skip the asserting literal of the reason
+		}
+		for _, q := range c.lits[start:] {
+			v := q.Var()
+			if s.seen[v] || s.level[v] == 0 {
+				continue
+			}
+			s.seen[v] = true
+			s.bumpVar(v)
+			if int(s.level[v]) == s.decisionLevel() {
+				counter++
+			} else {
+				learnt = append(learnt, q)
+			}
+		}
+		// Find next literal to expand on the trail.
+		for !s.seen[s.trail[idx].Var()] {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		v := p.Var()
+		s.seen[v] = false
+		counter--
+		if counter == 0 {
+			learnt[0] = p.Neg()
+			break
+		}
+		c = s.reason[v]
+		if c == nil {
+			s.dumpState(p, counter)
+			panic("nil reason in analyze")
+		}
+	}
+
+	// Mark for minimization check. Keep a copy of the pre-minimization
+	// literals: the in-place filter below overwrites dropped entries, and
+	// their seen flags must still be cleared at the end (stale flags would
+	// corrupt the next conflict analysis).
+	for _, l := range learnt {
+		s.seen[l.Var()] = true
+	}
+	orig := append([]cnf.Lit(nil), learnt...)
+	// Clause minimization: drop literals implied by the rest.
+	out := learnt[:1]
+	for _, l := range learnt[1:] {
+		if s.reason[l.Var()] == nil || !s.litRedundant(l) {
+			out = append(out, l)
+		}
+	}
+	learnt = out
+
+	// Compute backtrack level: highest level among learnt[1:].
+	btLevel := 0
+	if len(learnt) > 1 {
+		maxI := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.level[learnt[i].Var()] > s.level[learnt[maxI].Var()] {
+				maxI = i
+			}
+		}
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+		btLevel = int(s.level[learnt[1].Var()])
+	}
+
+	// Clear seen flags.
+	for _, l := range orig {
+		s.seen[l.Var()] = false
+	}
+	for _, v := range s.clearBf {
+		s.seen[v] = false
+	}
+	s.clearBf = s.clearBf[:0]
+	return learnt, btLevel
+}
+
+// litRedundant checks (non-recursively, with an explicit stack) whether l is
+// implied by other literals marked in seen — standard learnt clause
+// minimization.
+func (s *Solver) litRedundant(l cnf.Lit) bool {
+	s.minStk = s.minStk[:0]
+	s.minStk = append(s.minStk, l)
+	top := len(s.clearBf)
+	for len(s.minStk) > 0 {
+		p := s.minStk[len(s.minStk)-1]
+		s.minStk = s.minStk[:len(s.minStk)-1]
+		c := s.reason[p.Var()]
+		if c == nil {
+			// Reached a decision: not redundant, undo marks.
+			for _, v := range s.clearBf[top:] {
+				s.seen[v] = false
+			}
+			s.clearBf = s.clearBf[:top]
+			return false
+		}
+		for _, q := range c.lits[1:] {
+			v := q.Var()
+			if s.seen[v] || s.level[v] == 0 {
+				continue
+			}
+			if s.reason[v] == nil {
+				for _, u := range s.clearBf[top:] {
+					s.seen[u] = false
+				}
+				s.clearBf = s.clearBf[:top]
+				return false
+			}
+			s.seen[v] = true
+			s.clearBf = append(s.clearBf, v)
+			s.minStk = append(s.minStk, q)
+		}
+	}
+	return true
+}
+
+func (s *Solver) computeLBD(lits []cnf.Lit) uint32 {
+	levels := make(map[int32]struct{}, len(lits))
+	for _, l := range lits {
+		levels[s.level[l.Var()]] = struct{}{}
+	}
+	return uint32(len(levels))
+}
+
+func (s *Solver) backtrackTo(level int) {
+	if s.decisionLevel() <= level {
+		return
+	}
+	lim := s.trailLim[level]
+	for i := len(s.trail) - 1; i >= int(lim); i-- {
+		l := s.trail[i]
+		v := l.Var()
+		s.assign[v] = lUndef
+		s.phase[v] = !l.Sign()
+		s.reason[v] = nil
+		s.heapInsert(v)
+	}
+	s.trail = s.trail[:lim]
+	s.trailLim = s.trailLim[:level]
+	s.qhead = len(s.trail)
+}
+
+// --- restarts & reduction ---
+
+// luby returns the i-th element (0-based) of the Luby restart sequence
+// 1,1,2,1,1,2,4,1,1,2,1,1,2,4,8,... (MiniSat's formulation with base 2).
+func luby(x int64) int64 {
+	size, seq := int64(1), 0
+	for size < x+1 {
+		seq++
+		size = 2*size + 1
+	}
+	for size-1 != x {
+		size = (size - 1) / 2
+		seq--
+		x %= size
+	}
+	return int64(1) << uint(seq)
+}
+
+func (s *Solver) reduceDB() {
+	// Sort learnts: keep low-LBD and active clauses. Simple selection:
+	// remove half with highest LBD (ties by activity), never LBD<=2 or
+	// clauses currently used as reasons.
+	if len(s.learnts) < 2 {
+		return
+	}
+	ls := make([]*clause, len(s.learnts))
+	copy(ls, s.learnts)
+	// insertion sort by (lbd desc, act asc)
+	for i := 1; i < len(ls); i++ {
+		for j := i; j > 0; j-- {
+			a, b := ls[j-1], ls[j]
+			if a.lbd > b.lbd || (a.lbd == b.lbd && a.act < b.act) {
+				break
+			}
+			ls[j-1], ls[j] = b, a
+		}
+	}
+	locked := make(map[*clause]bool)
+	for _, l := range s.trail {
+		if r := s.reason[l.Var()]; r != nil {
+			locked[r] = true
+		}
+	}
+	removed := make(map[*clause]bool)
+	for _, c := range ls[:len(ls)/2] {
+		if c.lbd <= 2 || locked[c] {
+			continue
+		}
+		removed[c] = true
+		s.stats.Removed++
+	}
+	if len(removed) == 0 {
+		return
+	}
+	keep := s.learnts[:0]
+	for _, c := range s.learnts {
+		if !removed[c] {
+			keep = append(keep, c)
+		}
+	}
+	s.learnts = keep
+	// Rebuild watches (simplest correct approach).
+	for i := range s.watches {
+		s.watches[i] = s.watches[i][:0]
+	}
+	for _, c := range s.clauses {
+		s.attach(c)
+	}
+	for _, c := range s.learnts {
+		s.attach(c)
+	}
+}
+
+// --- main search ---
+
+// Solve searches for a satisfying assignment under the given assumptions.
+func (s *Solver) Solve(assumptions ...cnf.Lit) Status {
+	return s.SolveLimited(Limits{}, assumptions...)
+}
+
+// SolveLimited is Solve with a resource budget; it returns Unknown when the
+// budget is exhausted.
+func (s *Solver) SolveLimited(lim Limits, assumptions ...cnf.Lit) Status {
+	if !s.ok {
+		return Unsat
+	}
+	s.backtrackTo(0)
+	// (Re)fill the heap with all unassigned vars.
+	for v := cnf.Var(1); int(v) <= s.numVars; v++ {
+		if s.assign[v] == lUndef {
+			s.heapInsert(v)
+		}
+	}
+	if s.propagate() != nil {
+		s.ok = false
+		return Unsat
+	}
+
+	restartBase := int64(100)
+	conflictsAtStart := s.stats.Conflicts
+	var curRestart int64 = 0
+	nextRestart := s.stats.Conflicts + restartBase*luby(curRestart)
+	learntLimit := int64(len(s.clauses)/3 + 1000)
+	checkTick := 0
+
+	for {
+		confl := s.propagate()
+		if confl == nil && s.debug {
+			s.checkInvariants("afterprop")
+		}
+		if confl != nil {
+			s.stats.Conflicts++
+			if s.decisionLevel() == 0 {
+				s.ok = false
+				return Unsat
+			}
+			learnt, btLevel := s.analyze(confl)
+			// Don't backtrack past the assumptions.
+			s.backtrackTo(btLevel)
+			if len(learnt) == 1 {
+				if s.decisionLevel() > 0 {
+					s.backtrackTo(0)
+				}
+				s.uncheckedEnqueue(learnt[0], nil)
+			} else {
+				c := &clause{lits: learnt, learnt: true, lbd: s.computeLBD(learnt)}
+				s.learnts = append(s.learnts, c)
+				s.stats.Learnt++
+				s.attach(c)
+				s.bumpClause(c)
+				s.uncheckedEnqueue(learnt[0], c)
+			}
+			s.decayVar()
+			s.decayClause()
+			continue
+		}
+
+		// Budget check (amortized).
+		checkTick++
+		if checkTick&63 == 0 {
+			if lim.MaxConflicts > 0 && s.stats.Conflicts-conflictsAtStart > lim.MaxConflicts {
+				s.backtrackTo(0)
+				return Unknown
+			}
+			if !lim.Deadline.IsZero() && checkTick&1023 == 0 && time.Now().After(lim.Deadline) {
+				s.backtrackTo(0)
+				return Unknown
+			}
+		}
+
+		// Restart?
+		if s.stats.Conflicts >= nextRestart && s.decisionLevel() > len(assumptions) {
+			s.stats.Restarts++
+			curRestart++
+			nextRestart = s.stats.Conflicts + restartBase*luby(curRestart)
+			s.backtrackTo(len(assumptions))
+		}
+
+		// Reduce learnt DB? Watch re-attachment is only sound at level 0,
+		// so force a full restart first.
+		if int64(len(s.learnts)) > learntLimit {
+			s.backtrackTo(0)
+			s.reduceDB()
+			learntLimit += learntLimit / 10
+		}
+
+		// Pick the next decision: assumptions first.
+		var next cnf.Lit = cnf.LitUndef
+		for s.decisionLevel() < len(assumptions) {
+			a := assumptions[s.decisionLevel()]
+			switch s.litValue(a) {
+			case lTrue:
+				// Already satisfied; open an empty decision level.
+				s.trailLim = append(s.trailLim, int32(len(s.trail)))
+				continue
+			case lFalse:
+				return Unsat // conflicting assumptions
+			}
+			next = a
+			break
+		}
+		if next == cnf.LitUndef {
+			for len(s.heap) > 0 {
+				v := s.heapPop()
+				if s.assign[v] == lUndef {
+					next = cnf.MkLit(v, !s.phase[v])
+					break
+				}
+			}
+			if next == cnf.LitUndef {
+				return Sat // all variables assigned
+			}
+			s.stats.Decisions++
+		}
+		s.trailLim = append(s.trailLim, int32(len(s.trail)))
+		s.uncheckedEnqueue(next, nil)
+	}
+}
+
+// Value returns the model value of v after a Sat result.
+func (s *Solver) Value(v cnf.Var) bool { return s.assign[v] == lTrue }
+
+// LitTrue reports whether literal l is true in the model.
+func (s *Solver) LitTrue(l cnf.Lit) bool { return s.litValue(l) == lTrue }
+
+// Stats returns search statistics.
+func (s *Solver) Stats() Stats { return s.stats }
+
+// NumClauses returns the problem clause count (excluding learnt clauses).
+func (s *Solver) NumClauses() int { return len(s.clauses) }
+
+// NumVarsAllocated returns the number of variables.
+func (s *Solver) NumVarsAllocated() int { return s.numVars }
+
+// SetDebug toggles expensive internal invariant checking (test use only).
+func (s *Solver) SetDebug(on bool) { s.debug = on }
+
+// dumpState prints trail diagnostics when an internal invariant breaks.
+func (s *Solver) dumpState(p cnf.Lit, counter int) {
+	fmt.Fprintf(os.Stderr, "ANALYZE BUG: p=%v var=%d level=%d dl=%d counter=%d trailLen=%d\n",
+		p, p.Var(), s.level[p.Var()], s.decisionLevel(), counter, len(s.trail))
+	for i := len(s.trail) - 1; i >= 0 && i > len(s.trail)-30; i-- {
+		l := s.trail[i]
+		fmt.Fprintf(os.Stderr, "  trail[%d] = %v lvl=%d seen=%v reason=%p\n", i, l, s.level[l.Var()], s.seen[l.Var()], s.reason[l.Var()])
+	}
+}
+
+// checkInvariants (debug only) verifies that no clause is fully false or
+// unnoticed-unit after propagation reached fixpoint.
+func (s *Solver) checkInvariants(where string) {
+	all := append([]*clause{}, s.clauses...)
+	all = append(all, s.learnts...)
+	for _, c := range all {
+		nFalse, nTrue, nUndef := 0, 0, 0
+		for _, l := range c.lits {
+			switch s.litValue(l) {
+			case lFalse:
+				nFalse++
+			case lTrue:
+				nTrue++
+			default:
+				nUndef++
+			}
+		}
+		if nTrue == 0 && nUndef == 0 {
+			fmt.Fprintf(os.Stderr, "INVARIANT[%s]: clause %v fully false, dl=%d\n", where, c.lits, s.decisionLevel())
+			panic("missed conflict")
+		}
+		if nTrue == 0 && nUndef == 1 {
+			fmt.Fprintf(os.Stderr, "INVARIANT[%s]: clause %v unit undetected, dl=%d\n", where, c.lits, s.decisionLevel())
+			panic("missed unit")
+		}
+	}
+}

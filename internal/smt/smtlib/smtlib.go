@@ -1,0 +1,163 @@
+// Package smtlib renders term-level assertion sets in the SMT-LIB v2
+// standard format (§4 of the paper: "The SMT problem can be written in the
+// standard SMT-LIB format supported by different SMT solvers"). The output
+// uses the Int sort (QF_LIA-style), which external solvers such as Z3 or
+// cvc5 accept directly; this repository's own solver consumes the term DAG
+// without going through text.
+package smtlib
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"buffy/internal/smt/term"
+)
+
+// Print writes a complete SMT-LIB v2 script: logic declaration, one
+// declare-const per variable occurring in the assertions, one assert per
+// term, and a final (check-sat)(get-model).
+func Print(w io.Writer, assertions []*term.Term) error {
+	vars := collectVars(assertions)
+	if _, err := fmt.Fprintln(w, "(set-logic QF_LIA)"); err != nil {
+		return err
+	}
+	for _, v := range vars {
+		sortName := "Int"
+		if v.Sort() == term.Bool {
+			sortName = "Bool"
+		}
+		if _, err := fmt.Fprintf(w, "(declare-const %s %s)\n", Symbol(v.Name()), sortName); err != nil {
+			return err
+		}
+	}
+	for _, a := range assertions {
+		if _, err := fmt.Fprintf(w, "(assert %s)\n", TermString(a)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w, "(check-sat)"); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(w, "(get-model)")
+	return err
+}
+
+// Script returns the SMT-LIB script as a string.
+func Script(assertions []*term.Term) string {
+	var b strings.Builder
+	_ = Print(&b, assertions)
+	return b.String()
+}
+
+// Symbol sanitizes a Buffy variable name into a legal SMT-LIB simple symbol,
+// quoting with |...| when the name contains characters outside the simple
+// symbol alphabet (Buffy names contain '[', ']' and '.' from SSA and buffer
+// slot naming).
+func Symbol(name string) string {
+	simple := true
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+		case strings.ContainsRune("~!@$%^&*_-+=<>.?/", r):
+		default:
+			simple = false
+		}
+	}
+	if simple && len(name) > 0 && !(name[0] >= '0' && name[0] <= '9') {
+		return name
+	}
+	return "|" + strings.ReplaceAll(name, "|", "_") + "|"
+}
+
+// TermString renders a single term as an SMT-LIB s-expression.
+func TermString(t *term.Term) string {
+	var b strings.Builder
+	writeTerm(&b, t)
+	return b.String()
+}
+
+func writeTerm(b *strings.Builder, t *term.Term) {
+	switch t.Kind() {
+	case term.KindIntConst:
+		v := t.IntVal()
+		if v < 0 {
+			fmt.Fprintf(b, "(- %d)", -v)
+		} else {
+			fmt.Fprintf(b, "%d", v)
+		}
+	case term.KindBoolConst:
+		if t.BoolVal() {
+			b.WriteString("true")
+		} else {
+			b.WriteString("false")
+		}
+	case term.KindVar:
+		b.WriteString(Symbol(t.Name()))
+	default:
+		b.WriteByte('(')
+		b.WriteString(opName(t.Kind()))
+		for _, a := range t.Args() {
+			b.WriteByte(' ')
+			writeTerm(b, a)
+		}
+		b.WriteByte(')')
+	}
+}
+
+func opName(k term.Kind) string {
+	switch k {
+	case term.KindNot:
+		return "not"
+	case term.KindAnd:
+		return "and"
+	case term.KindOr:
+		return "or"
+	case term.KindXor:
+		return "xor"
+	case term.KindImplies:
+		return "=>"
+	case term.KindIff, term.KindEq:
+		return "="
+	case term.KindLt:
+		return "<"
+	case term.KindLe:
+		return "<="
+	case term.KindAdd:
+		return "+"
+	case term.KindSub:
+		return "-"
+	case term.KindMul:
+		return "*"
+	case term.KindNeg:
+		return "-"
+	case term.KindIte:
+		return "ite"
+	}
+	return fmt.Sprintf("?op%d", k)
+}
+
+func collectVars(assertions []*term.Term) []*term.Term {
+	seen := make(map[*term.Term]bool)
+	var vars []*term.Term
+	var walk func(t *term.Term)
+	walk = func(t *term.Term) {
+		if seen[t] {
+			return
+		}
+		seen[t] = true
+		if t.Kind() == term.KindVar {
+			vars = append(vars, t)
+			return
+		}
+		for _, a := range t.Args() {
+			walk(a)
+		}
+	}
+	for _, a := range assertions {
+		walk(a)
+	}
+	sort.Slice(vars, func(i, j int) bool { return vars[i].ID() < vars[j].ID() })
+	return vars
+}

@@ -1,0 +1,116 @@
+package smtlib
+
+import (
+	"strings"
+	"testing"
+
+	"buffy/internal/smt/term"
+)
+
+func TestScriptStructure(t *testing.T) {
+	b := term.NewBuilder()
+	x := b.Var("x", term.Int)
+	p := b.Var("p", term.Bool)
+	asserts := []*term.Term{
+		b.Le(b.IntConst(0), x),
+		b.Implies(p, b.Eq(x, b.IntConst(5))),
+	}
+	out := Script(asserts)
+	for _, w := range []string{
+		"(set-logic QF_LIA)",
+		"(declare-const x Int)",
+		"(declare-const p Bool)",
+		"(assert (<= 0 x))",
+		"(assert (=> p (= x 5)))",
+		"(check-sat)",
+		"(get-model)",
+	} {
+		if !strings.Contains(out, w) {
+			t.Errorf("missing %q in:\n%s", w, out)
+		}
+	}
+}
+
+func TestNegativeConstants(t *testing.T) {
+	b := term.NewBuilder()
+	x := b.Var("x", term.Int)
+	out := TermString(b.Eq(x, b.IntConst(-7)))
+	if !strings.Contains(out, "(- 7)") {
+		t.Errorf("negative literal not SMT-LIB-safe: %s", out)
+	}
+}
+
+func TestSymbolQuoting(t *testing.T) {
+	cases := map[string]string{
+		"plain":        "plain",
+		"with.dots":    "with.dots",
+		"a[0]":         "|a[0]|",
+		"fq!in!t0":     "fq!in!t0",
+		"has space":    "|has space|",
+		"0startsDigit": "|0startsDigit|",
+		"pipe|bar":     "|pipe_bar|",
+	}
+	for in, want := range cases {
+		if got := Symbol(in); got != want {
+			t.Errorf("Symbol(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestOperatorRendering(t *testing.T) {
+	b := term.NewBuilder()
+	x := b.Var("x", term.Int)
+	y := b.Var("y", term.Int)
+	p := b.Var("p", term.Bool)
+	q := b.Var("q", term.Bool)
+	cases := []struct {
+		t    *term.Term
+		want string
+	}{
+		{b.Add(x, y), "(+"},
+		{b.Sub(x, y), "(- "},
+		{b.Mul(x, y), "(* "},
+		{b.Neg(x), "(- "},
+		{b.Lt(x, y), "(< "},
+		{b.Le(x, y), "(<= "},
+		{b.And(p, q), "(and "},
+		{b.Or(p, q), "(or "},
+		{b.Not(p), "(not "},
+		{b.Xor(p, q), "(xor "},
+		{b.Iff(p, q), "(= "},
+		{b.Ite(p, x, y), "(ite "},
+	}
+	for _, c := range cases {
+		if got := TermString(c.t); !strings.Contains(got, c.want) {
+			t.Errorf("TermString(%s) = %q, want op %q", c.t, got, c.want)
+		}
+	}
+}
+
+func TestVarsDeclaredOnceInCreationOrder(t *testing.T) {
+	b := term.NewBuilder()
+	x := b.Var("x", term.Int)
+	y := b.Var("y", term.Int)
+	out := Script([]*term.Term{b.Lt(x, y), b.Lt(y, x)})
+	ix := strings.Index(out, "declare-const x")
+	iy := strings.Index(out, "declare-const y")
+	if ix < 0 || iy < 0 || ix > iy {
+		t.Errorf("declarations missing or misordered:\n%s", out)
+	}
+	if strings.Count(out, "declare-const x") != 1 {
+		t.Error("x declared more than once")
+	}
+}
+
+func TestBoolConstants(t *testing.T) {
+	b := term.NewBuilder()
+	p := b.Var("p", term.Bool)
+	out := TermString(b.Ite(p, b.True(), b.False()))
+	// The builder folds ite(p, true, false) to p.
+	if out != "p" {
+		t.Errorf("got %q", out)
+	}
+	if TermString(b.True()) != "true" || TermString(b.False()) != "false" {
+		t.Error("boolean constant rendering")
+	}
+}

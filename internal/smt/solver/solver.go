@@ -1,0 +1,179 @@
+// Package solver provides the user-facing SMT interface: assert boolean
+// terms, check satisfiability, extract models. It plays the role Z3's API
+// plays for FPerf — but implemented entirely on this repository's
+// bit-blasting and CDCL SAT substrate.
+//
+// The solver is incremental in the "assert more, check again" direction:
+// each Check reuses all clauses (including learnt clauses) from previous
+// checks. Hypothetical queries are supported through CheckAssuming, which
+// solves under assumption literals without committing them — the workhorse
+// of the Houdini and k-induction engines.
+package solver
+
+import (
+	"time"
+
+	"buffy/internal/smt/bitblast"
+	"buffy/internal/smt/cnf"
+	"buffy/internal/smt/sat"
+	"buffy/internal/smt/term"
+)
+
+// Result is the outcome of a Check.
+type Result int
+
+// Check outcomes.
+const (
+	Unknown Result = iota
+	Sat
+	Unsat
+)
+
+func (r Result) String() string {
+	switch r {
+	case Sat:
+		return "sat"
+	case Unsat:
+		return "unsat"
+	}
+	return "unknown"
+}
+
+// Options configures a Solver.
+type Options struct {
+	// Width is the two's-complement bit width for integers.
+	// Zero means bitblast.DefaultWidth.
+	Width int
+	// MaxConflicts bounds each Check; zero means unlimited.
+	MaxConflicts int64
+	// Timeout bounds each Check's wall time; zero means unlimited.
+	Timeout time.Duration
+}
+
+// Solver is an incremental SMT solver over booleans and bounded integers.
+type Solver struct {
+	b    *term.Builder
+	sat  *sat.Solver
+	bl   *bitblast.Blaster
+	opts Options
+
+	asserted []*term.Term
+	unsat    bool // top-level inconsistency detected during blasting
+
+	// model holds variable values snapshotted at the last Sat result.
+	// Snapshotting (rather than lazily reading SAT literals) keeps Value
+	// safe for terms that were never blasted: they are evaluated
+	// structurally over the snapshot.
+	model term.Assignment
+}
+
+// New returns a Solver with a fresh term builder.
+func New(opts Options) *Solver {
+	if opts.Width == 0 {
+		opts.Width = bitblast.DefaultWidth
+	}
+	s := &Solver{b: term.NewBuilder(), opts: opts}
+	s.sat = sat.New()
+	s.bl = bitblast.New(opts.Width, s.sat)
+	return s
+}
+
+// Builder returns the solver's term builder. All terms asserted must come
+// from this builder.
+func (s *Solver) Builder() *term.Builder { return s.b }
+
+// Width returns the integer bit width.
+func (s *Solver) Width() int { return s.opts.Width }
+
+// Assert adds a boolean term to the assertion set.
+func (s *Solver) Assert(t *term.Term) {
+	s.asserted = append(s.asserted, t)
+	if t == s.b.False() {
+		s.unsat = true
+		return
+	}
+	s.bl.Assert(t)
+}
+
+// Assertions returns the asserted terms in order.
+func (s *Solver) Assertions() []*term.Term { return s.asserted }
+
+// Check decides satisfiability of the asserted set.
+func (s *Solver) Check() Result {
+	return s.CheckAssuming()
+}
+
+// CheckAssuming decides satisfiability of the asserted set together with
+// the given boolean terms, without adding them permanently.
+func (s *Solver) CheckAssuming(assumptions ...*term.Term) Result {
+	if s.unsat {
+		return Unsat
+	}
+	lits := make([]cnf.Lit, 0, len(assumptions))
+	for _, a := range assumptions {
+		if a == s.b.False() {
+			return Unsat
+		}
+		if a == s.b.True() {
+			continue
+		}
+		lits = append(lits, s.bl.Bool(a))
+	}
+	lim := sat.Limits{MaxConflicts: s.opts.MaxConflicts}
+	if s.opts.Timeout > 0 {
+		lim.Deadline = time.Now().Add(s.opts.Timeout)
+	}
+	switch s.sat.SolveLimited(lim, lits...) {
+	case sat.Sat:
+		s.snapshotModel()
+		return Sat
+	case sat.Unsat:
+		return Unsat
+	default:
+		return Unknown
+	}
+}
+
+// snapshotModel reads every builder variable's value out of the SAT
+// assignment. Variables that never reached the SAT solver read as 0/false,
+// which is a legal completion since they are unconstrained.
+func (s *Solver) snapshotModel() {
+	m := make(term.Assignment, 64)
+	for _, v := range s.b.Vars() {
+		if v.Sort() == term.Bool {
+			m[v] = term.BoolValue(s.bl.BoolValue(v))
+		} else {
+			m[v] = term.IntValue(s.bl.IntValue(v))
+		}
+	}
+	s.model = m
+}
+
+// BoolValue returns the model value of a boolean term after Sat. The term
+// is evaluated over the snapshotted variable assignment, so any term built
+// from this solver's builder may be queried, whether or not it was asserted.
+func (s *Solver) BoolValue(t *term.Term) bool { return s.Value(t).Bool }
+
+// IntValue returns the model value of an integer term after Sat.
+func (s *Solver) IntValue(t *term.Term) int64 { return s.Value(t).Int }
+
+// Value returns the model value of t after Sat.
+func (s *Solver) Value(t *term.Term) term.Value {
+	if s.model == nil {
+		panic("solver: Value called before a Sat result")
+	}
+	return term.Eval(t, s.model, s.opts.Width)
+}
+
+// Model returns the values of all variables created in the builder as of
+// the last Sat result, suitable for term.Eval-based validation.
+func (s *Solver) Model() term.Assignment { return s.model }
+
+// Stats returns the underlying SAT search statistics.
+func (s *Solver) Stats() sat.Stats { return s.sat.Stats() }
+
+// NumClauses returns the number of problem clauses blasted so far.
+func (s *Solver) NumClauses() int { return s.sat.NumClauses() }
+
+// NumVars returns the number of SAT variables allocated so far.
+func (s *Solver) NumVars() int { return s.sat.NumVarsAllocated() }

@@ -1,0 +1,158 @@
+// Package workload provides concrete traffic generators for driving Buffy
+// programs in simulation (the interp package) and for sizing benchmark
+// scenarios: constant-rate flows, on/off bursts, random traffic, and the
+// adversarial pattern behind the FQ-CoDel starvation bug. A Plan can also
+// be serialized, so a trace found by a solver back-end can be saved and
+// replayed by the buffy-run tool.
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+
+	"buffy/internal/backend/smtbe"
+	"buffy/internal/interp"
+)
+
+// Packet is one concrete packet in a plan.
+type Packet struct {
+	Flow  int64 `json:"flow"`
+	Bytes int64 `json:"bytes"`
+}
+
+// Plan maps (step, input buffer) to the packets arriving there.
+type Plan struct {
+	T       int                 `json:"t"`
+	Arrives map[string][]Packet `json:"arrives"` // key: "<step>/<buffer>"
+}
+
+// NewPlan returns an empty plan over T steps.
+func NewPlan(T int) *Plan {
+	return &Plan{T: T, Arrives: make(map[string][]Packet)}
+}
+
+func key(step int, buf string) string { return fmt.Sprintf("%d/%s", step, buf) }
+
+// Add schedules a packet arrival.
+func (p *Plan) Add(step int, buf string, pkt Packet) {
+	if pkt.Bytes <= 0 {
+		pkt.Bytes = 1
+	}
+	k := key(step, buf)
+	p.Arrives[k] = append(p.Arrives[k], pkt)
+}
+
+// At returns the packets arriving at (step, buf).
+func (p *Plan) At(step int, buf string) []Packet { return p.Arrives[key(step, buf)] }
+
+// Total counts all packets in the plan.
+func (p *Plan) Total() int {
+	n := 0
+	for _, ps := range p.Arrives {
+		n += len(ps)
+	}
+	return n
+}
+
+// Generator renders the plan as a core.Simulate/interp arrival source.
+func (p *Plan) Generator() func(step int, input string) []interp.Packet {
+	return func(step int, input string) []interp.Packet {
+		var out []interp.Packet
+		for _, pkt := range p.At(step, input) {
+			out = append(out, interp.Packet{Fields: []int64{pkt.Flow}, Bytes: pkt.Bytes})
+		}
+		return out
+	}
+}
+
+// MarshalJSON / UnmarshalJSON round-trip through the plain struct.
+func (p *Plan) Marshal() ([]byte, error) { return json.MarshalIndent(p, "", "  ") }
+
+// Unmarshal parses a serialized plan.
+func Unmarshal(data []byte) (*Plan, error) {
+	var p Plan
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, err
+	}
+	if p.Arrives == nil {
+		p.Arrives = make(map[string][]Packet)
+	}
+	return &p, nil
+}
+
+// FromTrace converts a solver trace's arrival events into a replayable plan.
+func FromTrace(tr *smtbe.Trace) *Plan {
+	p := NewPlan(tr.T)
+	for _, ev := range tr.Packets {
+		flow := int64(0)
+		if len(ev.Fields) > 0 {
+			flow = ev.Fields[0]
+		}
+		p.Add(ev.Step, ev.Buffer, Packet{Flow: flow, Bytes: ev.Bytes})
+	}
+	return p
+}
+
+// ConstantRate schedules `rate` packets per step into each listed buffer,
+// with the packet flow matching the buffer's index in the list.
+func ConstantRate(T int, buffers []string, rate int) *Plan {
+	p := NewPlan(T)
+	for t := 0; t < T; t++ {
+		for i, b := range buffers {
+			for k := 0; k < rate; k++ {
+				p.Add(t, b, Packet{Flow: int64(i), Bytes: 1})
+			}
+		}
+	}
+	return p
+}
+
+// OnOff schedules bursts: `burst` packets every `period` steps (starting
+// at the buffer's index, staggering flows).
+func OnOff(T int, buffers []string, burst, period int) *Plan {
+	if period <= 0 {
+		period = 1
+	}
+	p := NewPlan(T)
+	for i, b := range buffers {
+		for t := i % period; t < T; t += period {
+			for k := 0; k < burst; k++ {
+				p.Add(t, b, Packet{Flow: int64(i), Bytes: 1})
+			}
+		}
+	}
+	return p
+}
+
+// Random schedules 0..maxPerStep packets per buffer per step with random
+// flows below numClasses, using a deterministic seed.
+func Random(T int, buffers []string, maxPerStep, numClasses int, seed int64) *Plan {
+	rng := rand.New(rand.NewSource(seed))
+	p := NewPlan(T)
+	for t := 0; t < T; t++ {
+		for _, b := range buffers {
+			n := rng.Intn(maxPerStep + 1)
+			for k := 0; k < n; k++ {
+				p.Add(t, b, Packet{Flow: int64(rng.Intn(numClasses)), Bytes: 1})
+			}
+		}
+	}
+	return p
+}
+
+// FQStarvation builds the adversarial pattern of the FQ-CoDel bug
+// (RFC 8290: a flow that "transmits at just the right rate"): queue 0
+// sends exactly one packet per step — except one skipped step so its
+// backlog stays at 1 — while queue 1 gets standing demand up front.
+func FQStarvation(T int, q0, q1 string) *Plan {
+	p := NewPlan(T)
+	for t := 0; t < T; t++ {
+		if t != 2 {
+			p.Add(t, q0, Packet{Flow: 0, Bytes: 1})
+		}
+	}
+	p.Add(0, q1, Packet{Flow: 1, Bytes: 1})
+	p.Add(0, q1, Packet{Flow: 1, Bytes: 1})
+	return p
+}
