@@ -1,0 +1,75 @@
+// Command buffy-serve runs Buffy as a long-lived analysis service: an
+// HTTP JSON API in front of the internal/service job engine, with a
+// bounded worker pool, a content-addressed result cache, per-job
+// deadlines and graceful drain on SIGINT/SIGTERM.
+//
+//	buffy-serve -addr :8080 -workers 8 -queue 128 -cache 512 -timeout 60s
+//
+//	curl -s localhost:8080/v1/witness -d '{"source":"...", "t":6, "params":{"N":3}}'
+//	curl -s localhost:8080/v1/verify?async=1 -d @req.json   # 202 + job ID
+//	curl -s localhost:8080/v1/jobs/j00000001
+//	curl -s localhost:8080/metrics
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"buffy/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "solver worker pool size (default GOMAXPROCS)")
+	queue := flag.Int("queue", 64, "bounded job queue depth")
+	cacheN := flag.Int("cache", 256, "result cache entries (0 default, <0 disables)")
+	timeout := flag.Duration("timeout", 60*time.Second, "default per-job deadline")
+	drain := flag.Duration("drain", 30*time.Second, "graceful drain budget on shutdown")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: buffy-serve [flags]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	engine := service.New(service.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheEntries:   *cacheN,
+		DefaultTimeout: *timeout,
+	})
+	server := &http.Server{Addr: *addr, Handler: service.NewHandler(engine)}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- server.ListenAndServe() }()
+	log.Printf("buffy-serve listening on %s (workers=%d queue=%d cache=%d timeout=%v)",
+		*addr, *workers, *queue, *cacheN, *timeout)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("buffy-serve: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("buffy-serve: draining (budget %v)...", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := server.Shutdown(shutdownCtx); err != nil {
+		log.Printf("buffy-serve: http shutdown: %v", err)
+	}
+	if err := engine.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.Canceled) {
+		log.Printf("buffy-serve: engine drain: %v", err)
+	}
+	log.Printf("buffy-serve: bye")
+}

@@ -50,6 +50,7 @@ func main() {
 	arrivals := flag.Int("arrivals", 0, "max arrivals per input buffer per step (default 1)")
 	cap := flag.Int("cap", 0, "buffer capacity (default 8)")
 	planOut := flag.String("trace-out", "", "save the discovered trace as a replayable arrival plan (JSON)")
+	stats := flag.Bool("stats", false, "print solver effort statistics (conflicts, decisions, propagations)")
 	flag.Var(params, "param", "compile-time parameter, name=value (repeatable)")
 	flag.Parse()
 
@@ -83,6 +84,7 @@ func main() {
 		}
 		fmt.Printf("%s: %v (%.3fs, %d clauses, %d vars, %d conflicts)\n",
 			prog.Name(), res.Status, res.Duration.Seconds(), res.NumClauses, res.NumVars, res.SatStats.Conflicts)
+		printStats(*stats, res)
 		if res.Trace != nil {
 			fmt.Print(res.Trace)
 			savePlan(*planOut, res.Trace)
@@ -93,6 +95,7 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("%s: %v (%.3fs)\n", prog.Name(), res.Status, res.Duration.Seconds())
+		printStats(*stats, res)
 		if res.Trace != nil {
 			fmt.Print(res.Trace)
 			savePlan(*planOut, res.Trace)
@@ -167,6 +170,17 @@ func missingParams(p *core.Program, have map[string]int64) []string {
 		}
 	}
 	return out
+}
+
+// printStats renders the solver-effort counters behind the -stats flag.
+func printStats(enabled bool, res *smtbe.Result) {
+	if !enabled {
+		return
+	}
+	s := res.SatStats
+	fmt.Printf("solver stats: conflicts=%d decisions=%d propagations=%d restarts=%d learnt=%d removed=%d\n",
+		s.Conflicts, s.Decisions, s.Propagations, s.Restarts, s.Learnt, s.Removed)
+	fmt.Printf("encoding: %d clauses, %d vars\n", res.NumClauses, res.NumVars)
 }
 
 // savePlan writes a trace's arrivals as a buffy-run replayable plan.

@@ -21,6 +21,7 @@
 package fperf
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -98,9 +99,16 @@ type Result struct {
 // Synthesize searches for a workload under which every execution satisfies
 // the program's query (all reached asserts hold, at least one is reached).
 func Synthesize(info *typecheck.Info, opts Options) (*Result, error) {
+	return SynthesizeContext(context.Background(), info, opts)
+}
+
+// SynthesizeContext is Synthesize with cooperative cancellation: each
+// solver query aborts soon after ctx is cancelled and the whole synthesis
+// returns ctx.Err().
+func SynthesizeContext(ctx context.Context, info *typecheck.Info, opts Options) (*Result, error) {
 	start := time.Now()
 	sv := solver.New(opts.Solver)
-	c, err := ir.Compile(info, sv.Builder(), opts.IR)
+	c, err := ir.CompileContext(ctx, info, sv.Builder(), opts.IR)
 	if err != nil {
 		return nil, err
 	}
@@ -108,6 +116,9 @@ func Synthesize(info *typecheck.Info, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("fperf: program %s has no assert() query", info.Prog.Name)
 	}
 	for _, a := range c.Assumes {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		sv.Assert(a)
 	}
 	b := sv.Builder()
@@ -116,8 +127,11 @@ func Synthesize(info *typecheck.Info, opts Options) (*Result, error) {
 
 	// Step 1: find one witness.
 	res.Checks++
-	if sv.CheckAssuming(holds) != solver.Sat {
+	if sv.CheckAssumingContext(ctx, holds) != solver.Sat {
 		res.Duration = time.Since(start)
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
 		return res, nil // query unreachable: no workload exists
 	}
 
@@ -133,13 +147,13 @@ func Synthesize(info *typecheck.Info, opts Options) (*Result, error) {
 		res.Checks++
 		ant := w.Term(c)
 		// Unsat(workload ∧ ¬holds) means the workload guarantees the query.
-		if sv.CheckAssuming(b.And(ant, b.Not(holds))) != solver.Unsat {
+		if sv.CheckAssumingContext(ctx, b.And(ant, b.Not(holds))) != solver.Unsat {
 			return false
 		}
 		// Non-vacuity: some traffic satisfies the workload (and the
 		// program assumptions).
 		res.Checks++
-		return sv.CheckAssuming(ant) == solver.Sat
+		return sv.CheckAssumingContext(ctx, ant) == solver.Sat
 	}
 
 	if !implies(wl) {
@@ -147,6 +161,9 @@ func Synthesize(info *typecheck.Info, opts Options) (*Result, error) {
 		// entire input); if not, nondeterminism beyond traffic (havocs)
 		// can break the query and no traffic-only workload exists.
 		res.Duration = time.Since(start)
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
 		return res, nil
 	}
 
@@ -171,9 +188,15 @@ func Synthesize(info *typecheck.Info, opts Options) (*Result, error) {
 		}
 	}
 
+	res.Duration = time.Since(start)
+	// Cancellation mid-generalization makes every implies() check fail
+	// fast; the candidate may be under-generalized, so report the abort
+	// rather than a (valid but unpolished) workload.
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
 	res.Found = true
 	res.Workload = wl
-	res.Duration = time.Since(start)
 	return res, nil
 }
 

@@ -17,6 +17,7 @@
 package smtbe
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -155,9 +156,16 @@ type Options struct {
 
 // Check compiles and analyses the program.
 func Check(info *typecheck.Info, opts Options) (*Result, error) {
+	return CheckContext(context.Background(), info, opts)
+}
+
+// CheckContext is Check with cooperative cancellation: when ctx is
+// cancelled or its deadline passes, the in-flight CDCL search aborts and
+// the result comes back with Status Unknown alongside ctx.Err().
+func CheckContext(ctx context.Context, info *typecheck.Info, opts Options) (*Result, error) {
 	start := time.Now()
 	s := solver.New(opts.Solver)
-	c, err := ir.Compile(info, s.Builder(), opts.IR)
+	c, err := ir.CompileContext(ctx, info, s.Builder(), opts.IR)
 	if err != nil {
 		return nil, err
 	}
@@ -165,6 +173,11 @@ func Check(info *typecheck.Info, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("smtbe: program %s has no assert() — nothing to check", info.Prog.Name)
 	}
 	for _, a := range c.Assumes {
+		// Bit-blasting large assumes is part of the heavy encode path;
+		// keep cancellation responsive through it too.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		s.Assert(a)
 	}
 	if opts.ExtraAssume != nil {
@@ -178,7 +191,7 @@ func Check(info *typecheck.Info, opts Options) (*Result, error) {
 		s.Assert(c.AssertHolds())
 		s.Assert(c.AssertReached())
 	}
-	outcome := s.Check()
+	outcome := s.CheckContext(ctx)
 	res.SatStats = s.Stats()
 	res.NumClauses = s.NumClauses()
 	res.NumVars = s.NumVars()
@@ -196,6 +209,9 @@ func Check(info *typecheck.Info, opts Options) (*Result, error) {
 		res.Trace = ExtractTrace(c, s)
 	default:
 		res.Status = NoWitness
+	}
+	if res.Status == Unknown && ctx.Err() != nil {
+		return res, ctx.Err()
 	}
 	return res, nil
 }

@@ -13,6 +13,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"buffy/internal/backend/dafny"
@@ -124,31 +125,48 @@ func (a Analysis) solverOptions() solver.Options {
 // horizon (the bounded-model-checking direction). A counterexample trace
 // is returned when one exists.
 func (p *Program) Verify(a Analysis) (*smtbe.Result, error) {
+	return p.VerifyContext(context.Background(), a)
+}
+
+// VerifyContext is Verify with cooperative cancellation: cancelling ctx
+// (or passing its deadline) aborts the in-flight solve promptly.
+func (p *Program) VerifyContext(ctx context.Context, a Analysis) (*smtbe.Result, error) {
 	iro, err := a.irOptions()
 	if err != nil {
 		return nil, err
 	}
-	return smtbe.Check(p.Info, smtbe.Options{IR: iro, Solver: a.solverOptions(), Mode: smtbe.Verify})
+	return smtbe.CheckContext(ctx, p.Info, smtbe.Options{IR: iro, Solver: a.solverOptions(), Mode: smtbe.Verify})
 }
 
 // FindWitness searches for an execution satisfying the program's query
 // (the FPerf "can this happen" direction), returning its traffic trace.
 func (p *Program) FindWitness(a Analysis) (*smtbe.Result, error) {
+	return p.FindWitnessContext(context.Background(), a)
+}
+
+// FindWitnessContext is FindWitness with cooperative cancellation.
+func (p *Program) FindWitnessContext(ctx context.Context, a Analysis) (*smtbe.Result, error) {
 	iro, err := a.irOptions()
 	if err != nil {
 		return nil, err
 	}
-	return smtbe.Check(p.Info, smtbe.Options{IR: iro, Solver: a.solverOptions(), Mode: smtbe.Witness})
+	return smtbe.CheckContext(ctx, p.Info, smtbe.Options{IR: iro, Solver: a.solverOptions(), Mode: smtbe.Witness})
 }
 
 // SynthesizeWorkload runs the FPerf-style back-end: find input-traffic
 // conditions under which the query is guaranteed.
 func (p *Program) SynthesizeWorkload(a Analysis) (*fperf.Result, error) {
+	return p.SynthesizeWorkloadContext(context.Background(), a)
+}
+
+// SynthesizeWorkloadContext is SynthesizeWorkload with cooperative
+// cancellation.
+func (p *Program) SynthesizeWorkloadContext(ctx context.Context, a Analysis) (*fperf.Result, error) {
 	iro, err := a.irOptions()
 	if err != nil {
 		return nil, err
 	}
-	return fperf.Synthesize(p.Info, fperf.Options{IR: iro, Solver: a.solverOptions()})
+	return fperf.SynthesizeContext(ctx, p.Info, fperf.Options{IR: iro, Solver: a.solverOptions()})
 }
 
 // GenerateDafny emits the program as a Dafny method (unrolled, inlined,
@@ -259,11 +277,4 @@ func (p *Program) Replay(a Analysis, tr *smtbe.Trace) (*interp.Machine, []string
 		return nil, nil, err
 	}
 	return m, interp.Diff(m, tr), nil
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -18,6 +18,7 @@
 package ir
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -202,11 +203,22 @@ func (c *Compiled) Violation() *term.Term {
 // Compile unrolls prog over opts.T steps from the empty initial state with
 // symbolic input traffic.
 func Compile(info *typecheck.Info, b *term.Builder, opts Options) (*Compiled, error) {
+	return CompileContext(context.Background(), info, b, opts)
+}
+
+// CompileContext is Compile with cooperative cancellation: the unrolling
+// stops between steps once ctx is cancelled, so a long symbolic
+// compilation (the dominant cost at large horizons) aborts promptly
+// instead of running to completion for an abandoned analysis.
+func CompileContext(ctx context.Context, info *typecheck.Info, b *term.Builder, opts Options) (*Compiled, error) {
 	m, err := NewMachine(info, b, opts)
 	if err != nil {
 		return nil, err
 	}
 	for t := 0; t < m.opts.T; t++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if err := m.RunStep(t); err != nil {
 			return nil, err
 		}

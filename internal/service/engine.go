@@ -1,0 +1,435 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"buffy/internal/core"
+)
+
+// Submission errors.
+var (
+	// ErrQueueFull is returned when the bounded queue has no room; callers
+	// should shed load (HTTP 503) rather than block the accept loop.
+	ErrQueueFull = errors.New("service: job queue full")
+	// ErrClosed is returned once Shutdown has begun.
+	ErrClosed = errors.New("service: engine shut down")
+)
+
+// State is a job's lifecycle phase.
+type State string
+
+// Job states.
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+func (s State) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Job is one analysis in flight. All accessors are safe for concurrent
+// use; Done() closes exactly once when the job reaches a terminal state.
+type Job struct {
+	ID  string
+	Req *Request
+
+	engine *Engine
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu        sync.Mutex
+	state     State
+	result    *Result
+	err       error
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+}
+
+// State returns the job's current lifecycle phase.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Result returns the job's outcome once terminal (nil, nil before that).
+func (j *Job) Result() (*Result, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result, j.err
+}
+
+// Wait blocks until the job is terminal or ctx expires. On ctx expiry the
+// job keeps running (callers decide whether to Cancel).
+func (j *Job) Wait(ctx context.Context) (*Result, error) {
+	select {
+	case <-j.done:
+		return j.Result()
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Cancel aborts the job: a queued job completes immediately as canceled,
+// a running job's solver observes the cancellation cooperatively and
+// unwinds within a bounded number of search steps.
+func (j *Job) Cancel() {
+	j.cancel()
+	// A queued job will never be started by a worker once canceled, so it
+	// must be finished here or waiters would hang.
+	if j.finish(StateCanceled, nil, context.Canceled) {
+		j.engine.met.canceled.Add(1)
+		j.engine.noteFinished(j.ID)
+	}
+}
+
+// tryStart flips queued → running; false means the job was canceled
+// while waiting and the worker must skip it.
+func (j *Job) tryStart() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	return true
+}
+
+// finish moves the job to a terminal state exactly once; the first caller
+// wins. It reports whether this call performed the transition — but a
+// queued job is only finished by Cancel, never by a worker.
+func (j *Job) finish(st State, res *Result, err error) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.terminal() {
+		return false
+	}
+	if st == StateCanceled && j.state == StateRunning {
+		// Cancel of a running job: let the worker unwind and record the
+		// terminal state (it observes ctx cancellation from the solver).
+		return false
+	}
+	j.state = st
+	j.result = res
+	j.err = err
+	j.finished = time.Now()
+	close(j.done)
+	return true
+}
+
+// finishFromWorker is finish for the owning worker: it may complete a
+// running job with any terminal state.
+func (j *Job) finishFromWorker(st State, res *Result, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.terminal() {
+		return
+	}
+	j.state = st
+	j.result = res
+	j.err = err
+	j.finished = time.Now()
+	close(j.done)
+}
+
+// Times returns the submit/start/finish timestamps (zero if not reached).
+func (j *Job) Times() (submitted, started, finished time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.submitted, j.started, j.finished
+}
+
+// Config sizes the engine. Zero values pick production-sane defaults.
+type Config struct {
+	// Workers is the solver pool size (default: GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds jobs waiting for a worker (default 64). Beyond
+	// it Submit returns ErrQueueFull.
+	QueueDepth int
+	// CacheEntries bounds the LRU result cache (default 256; negative
+	// disables caching).
+	CacheEntries int
+	// DefaultTimeout is the per-job deadline when a request does not set
+	// one (default 60s; negative means no deadline).
+	DefaultTimeout time.Duration
+	// Retention caps how many finished jobs stay queryable via Job()
+	// (default 1024).
+	Retention int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 256
+	}
+	if c.DefaultTimeout == 0 {
+		c.DefaultTimeout = 60 * time.Second
+	}
+	if c.Retention <= 0 {
+		c.Retention = 1024
+	}
+	return c
+}
+
+// Engine is the analysis job engine: a bounded queue feeding a worker
+// pool, fronted by a content-addressed result cache.
+type Engine struct {
+	cfg   Config
+	queue chan *Job
+	cache *cache
+	met   *metrics
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu       sync.Mutex
+	closed   bool
+	jobs     map[string]*Job
+	finished []string // finished job IDs, oldest first, for retention pruning
+	nextID   int64
+
+	wg sync.WaitGroup
+}
+
+// New starts an engine with cfg.Workers solver workers.
+func New(cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	e := &Engine{
+		cfg:        cfg,
+		queue:      make(chan *Job, cfg.QueueDepth),
+		cache:      newCache(cfg.CacheEntries),
+		met:        newMetrics(),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		jobs:       make(map[string]*Job),
+	}
+	e.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go e.worker()
+	}
+	return e
+}
+
+// Submit validates and enqueues a request. A cache hit returns an
+// already-terminal job carrying the cached result — no worker involved.
+func (e *Engine) Submit(req *Request) (*Job, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	key := req.CacheKey()
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, ErrClosed
+	}
+	e.met.recordSubmit(req.Kind)
+
+	if cached, ok := e.cache.get(key); ok {
+		e.met.cacheHits.Add(1)
+		job := e.newJobLocked(req)
+		// Shallow copy: the trace/workload payload is shared (immutable),
+		// only the per-response CacheHit stamp differs.
+		res := *cached
+		res.CacheHit = true
+		job.state = StateDone
+		job.result = &res
+		job.started = job.submitted
+		job.finished = job.submitted
+		close(job.done)
+		e.met.completed.Add(1)
+		e.noteFinishedLocked(job.ID)
+		return job, nil
+	}
+
+	job := e.newJobLocked(req)
+	select {
+	case e.queue <- job:
+	default:
+		delete(e.jobs, job.ID)
+		job.cancel()
+		return nil, ErrQueueFull
+	}
+	e.met.cacheMisses.Add(1)
+	return job, nil
+}
+
+func (e *Engine) newJobLocked(req *Request) *Job {
+	e.nextID++
+	ctx, cancel := context.WithCancel(e.baseCtx)
+	job := &Job{
+		ID:        fmt.Sprintf("j%08d", e.nextID),
+		Req:       req,
+		engine:    e,
+		ctx:       ctx,
+		cancel:    cancel,
+		done:      make(chan struct{}),
+		state:     StateQueued,
+		submitted: time.Now(),
+	}
+	e.jobs[job.ID] = job
+	return job
+}
+
+// Closed reports whether Shutdown has begun.
+func (e *Engine) Closed() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.closed
+}
+
+// Job looks up a job by ID (live or within the retention window).
+func (e *Engine) Job(id string) (*Job, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	j, ok := e.jobs[id]
+	return j, ok
+}
+
+// Metrics returns a point-in-time snapshot of all counters.
+func (e *Engine) Metrics() Snapshot {
+	return e.met.snapshot(len(e.queue), e.cfg.Workers, e.cache.len())
+}
+
+// Shutdown stops accepting jobs and drains the pool gracefully: queued
+// and running jobs finish normally. If ctx expires first, every
+// in-flight solve is force-cancelled cooperatively and Shutdown returns
+// once workers unwind.
+func (e *Engine) Shutdown(ctx context.Context) error {
+	e.mu.Lock()
+	if !e.closed {
+		e.closed = true
+		close(e.queue)
+	}
+	e.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		e.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		e.baseCancel() // abort in-flight CDCL searches
+		<-drained
+		return ctx.Err()
+	}
+}
+
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for job := range e.queue {
+		e.runJob(job)
+	}
+}
+
+func (e *Engine) runJob(job *Job) {
+	if !job.tryStart() {
+		return // canceled while queued
+	}
+	e.met.workersBusy.Add(1)
+	defer e.met.workersBusy.Add(-1)
+
+	ctx := job.ctx
+	timeout := time.Duration(job.Req.TimeoutMS) * time.Millisecond
+	if timeout <= 0 {
+		timeout = e.cfg.DefaultTimeout
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	start := time.Now()
+	res, err := runAnalysis(ctx, job.Req)
+	elapsed := time.Since(start)
+
+	switch {
+	case err == nil:
+		e.met.completed.Add(1)
+		e.met.recordSolve(elapsed, res.SatStats)
+		if res.conclusive() {
+			e.cache.put(job.Req.CacheKey(), res)
+		}
+		job.finishFromWorker(StateDone, res, nil)
+	case errors.Is(err, context.Canceled):
+		e.met.canceled.Add(1)
+		job.finishFromWorker(StateCanceled, nil, err)
+	default:
+		// Deadline expiry, parse/type errors, compile errors.
+		e.met.failed.Add(1)
+		job.finishFromWorker(StateFailed, nil, err)
+	}
+	e.noteFinished(job.ID)
+}
+
+// runAnalysis executes one request through the core facade's
+// context-aware entry points.
+func runAnalysis(ctx context.Context, req *Request) (*Result, error) {
+	prog, err := core.Parse(req.Source)
+	if err != nil {
+		return nil, err
+	}
+	a := req.analysis()
+	switch req.Kind {
+	case KindVerify:
+		r, err := prog.VerifyContext(ctx, a)
+		if err != nil {
+			return nil, err
+		}
+		return resultFromCheck(KindVerify, r), nil
+	case KindWitness:
+		r, err := prog.FindWitnessContext(ctx, a)
+		if err != nil {
+			return nil, err
+		}
+		return resultFromCheck(KindWitness, r), nil
+	case KindSynthesize:
+		r, err := prog.SynthesizeWorkloadContext(ctx, a)
+		if err != nil {
+			return nil, err
+		}
+		return resultFromSynth(r), nil
+	}
+	return nil, fmt.Errorf("service: unknown kind %q", req.Kind)
+}
+
+func (e *Engine) noteFinished(id string) {
+	e.mu.Lock()
+	e.noteFinishedLocked(id)
+	e.mu.Unlock()
+}
+
+// noteFinishedLocked records a finished job for retention pruning: once
+// more than cfg.Retention jobs have finished, the oldest are forgotten.
+func (e *Engine) noteFinishedLocked(id string) {
+	e.finished = append(e.finished, id)
+	for len(e.finished) > e.cfg.Retention {
+		delete(e.jobs, e.finished[0])
+		e.finished = e.finished[1:]
+	}
+}

@@ -1,0 +1,170 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// StatusClientClosedRequest mirrors nginx's non-standard 499: the client
+// abandoned a synchronous analysis and its solve was cancelled.
+const StatusClientClosedRequest = 499
+
+// maxRequestBody bounds request JSON (programs are small; 4 MiB is ample).
+const maxRequestBody = 4 << 20
+
+// NewHandler returns the buffy-serve HTTP API:
+//
+//	POST /v1/verify      run a BMC verify            (body: Request JSON)
+//	POST /v1/witness     find a query witness trace
+//	POST /v1/synthesize  synthesize a workload
+//	GET  /v1/jobs/{id}   poll a job
+//	GET  /healthz        liveness
+//	GET  /metrics        Prometheus text (?format=json for a JSON snapshot)
+//
+// Analysis posts are synchronous by default: the handler waits for the
+// job and the response carries the result. Abandoning the request
+// (client disconnect) cancels the in-flight solve. With ?async=1 the
+// handler returns 202 and a job ID to poll instead.
+func NewHandler(e *Engine) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/verify", submitHandler(e, KindVerify))
+	mux.HandleFunc("POST /v1/witness", submitHandler(e, KindWitness))
+	mux.HandleFunc("POST /v1/synthesize", submitHandler(e, KindSynthesize))
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		job, ok := e.Job(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("no such job %q", r.PathValue("id")))
+			return
+		}
+		writeJSON(w, http.StatusOK, viewOf(job))
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		status := http.StatusOK
+		state := "ok"
+		if e.Closed() {
+			status = http.StatusServiceUnavailable
+			state = "shutting-down"
+		}
+		writeJSON(w, status, map[string]any{"status": state, "queue_depth": len(e.queue)})
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		snap := e.Metrics()
+		if r.URL.Query().Get("format") == "json" {
+			writeJSON(w, http.StatusOK, snap)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		snap.WritePrometheus(w)
+	})
+	return mux
+}
+
+func submitHandler(e *Engine, kind Kind) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var req Request
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+			return
+		}
+		req.Kind = kind // the path is authoritative
+
+		job, err := e.Submit(&req)
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, err)
+			return
+		case errors.Is(err, ErrClosed):
+			writeError(w, http.StatusServiceUnavailable, err)
+			return
+		case err != nil:
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+
+		if async := r.URL.Query().Get("async"); async == "1" || async == "true" {
+			w.Header().Set("Location", "/v1/jobs/"+job.ID)
+			writeJSON(w, http.StatusAccepted, viewOf(job))
+			return
+		}
+
+		// Synchronous: wait for the job; an abandoned request aborts the
+		// solve instead of burning a worker.
+		select {
+		case <-job.Done():
+		case <-r.Context().Done():
+			job.Cancel()
+			writeError(w, StatusClientClosedRequest, fmt.Errorf("request abandoned: %w", r.Context().Err()))
+			return
+		}
+		writeJSON(w, statusOf(job), viewOf(job))
+	}
+}
+
+// statusOf maps a terminal job to its HTTP status.
+func statusOf(job *Job) int {
+	switch job.State() {
+	case StateDone:
+		return http.StatusOK
+	case StateCanceled:
+		return StatusClientClosedRequest
+	default: // StateFailed
+		_, err := job.Result()
+		if errors.Is(err, context.DeadlineExceeded) {
+			return http.StatusGatewayTimeout
+		}
+		return http.StatusUnprocessableEntity
+	}
+}
+
+// JobView is the wire representation of a job.
+type JobView struct {
+	ID          string     `json:"id"`
+	Kind        Kind       `json:"kind"`
+	State       State      `json:"state"`
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+	Error       string     `json:"error,omitempty"`
+	Result      *Result    `json:"result,omitempty"`
+}
+
+func viewOf(job *Job) JobView {
+	res, err := job.Result()
+	submitted, started, finished := job.Times()
+	v := JobView{
+		ID:          job.ID,
+		Kind:        job.Req.Kind,
+		State:       job.State(),
+		SubmittedAt: submitted,
+		Result:      res,
+	}
+	if !started.IsZero() {
+		v.StartedAt = &started
+	}
+	if !finished.IsZero() {
+		v.FinishedAt = &finished
+	}
+	if err != nil {
+		v.Error = err.Error()
+	}
+	return v
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

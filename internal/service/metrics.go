@@ -1,0 +1,191 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"buffy/internal/smt/sat"
+)
+
+// latencyBuckets are the cumulative-histogram upper bounds (seconds) for
+// solve latency, chosen to straddle the sub-second interactive regime and
+// the multi-second heavy-solve regime.
+var latencyBuckets = []float64{0.01, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60}
+
+// metrics aggregates engine-wide counters. All fields are updated with
+// atomics except the latency histogram, which takes a short mutex.
+type metrics struct {
+	submittedVerify     atomic.Int64
+	submittedWitness    atomic.Int64
+	submittedSynthesize atomic.Int64
+
+	completed atomic.Int64 // jobs that produced a conclusive or unknown result
+	failed    atomic.Int64 // jobs that errored (parse/type/compile errors, deadline)
+	canceled  atomic.Int64 // jobs aborted by explicit cancel or client abandonment
+
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+
+	workersBusy atomic.Int64
+
+	// Cumulative solver effort across all jobs (satellite: surfaced
+	// sat.Stats, aggregated service-wide).
+	satConflicts    atomic.Int64
+	satDecisions    atomic.Int64
+	satPropagations atomic.Int64
+	satRestarts     atomic.Int64
+
+	latMu       sync.Mutex
+	latCount    int64
+	latSumNanos int64
+	latBuckets  []int64 // cumulative counts per latencyBuckets bound
+}
+
+func newMetrics() *metrics {
+	return &metrics{latBuckets: make([]int64, len(latencyBuckets))}
+}
+
+func (m *metrics) recordSubmit(kind Kind) {
+	switch kind {
+	case KindVerify:
+		m.submittedVerify.Add(1)
+	case KindWitness:
+		m.submittedWitness.Add(1)
+	case KindSynthesize:
+		m.submittedSynthesize.Add(1)
+	}
+}
+
+func (m *metrics) recordSolve(d time.Duration, stats sat.Stats) {
+	m.satConflicts.Add(stats.Conflicts)
+	m.satDecisions.Add(stats.Decisions)
+	m.satPropagations.Add(stats.Propagations)
+	m.satRestarts.Add(stats.Restarts)
+
+	secs := d.Seconds()
+	m.latMu.Lock()
+	m.latCount++
+	m.latSumNanos += d.Nanoseconds()
+	for i, bound := range latencyBuckets {
+		if secs <= bound {
+			m.latBuckets[i]++
+		}
+	}
+	m.latMu.Unlock()
+}
+
+// Snapshot is a point-in-time copy of all service metrics, JSON-friendly.
+type Snapshot struct {
+	JobsSubmitted map[string]int64 `json:"jobs_submitted"`
+	JobsCompleted int64            `json:"jobs_completed"`
+	JobsFailed    int64            `json:"jobs_failed"`
+	JobsCanceled  int64            `json:"jobs_canceled"`
+
+	QueueDepth  int `json:"queue_depth"`
+	Workers     int `json:"workers"`
+	WorkersBusy int `json:"workers_busy"`
+
+	CacheHits    int64   `json:"cache_hits"`
+	CacheMisses  int64   `json:"cache_misses"`
+	CacheEntries int     `json:"cache_entries"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+
+	SatConflicts    int64 `json:"sat_conflicts"`
+	SatDecisions    int64 `json:"sat_decisions"`
+	SatPropagations int64 `json:"sat_propagations"`
+	SatRestarts     int64 `json:"sat_restarts"`
+
+	SolveCount      int64            `json:"solve_count"`
+	SolveSecondsSum float64          `json:"solve_seconds_sum"`
+	SolveBuckets    map[string]int64 `json:"solve_latency_buckets"`
+}
+
+func (m *metrics) snapshot(queueDepth, workers, cacheEntries int) Snapshot {
+	s := Snapshot{
+		JobsSubmitted: map[string]int64{
+			string(KindVerify):     m.submittedVerify.Load(),
+			string(KindWitness):    m.submittedWitness.Load(),
+			string(KindSynthesize): m.submittedSynthesize.Load(),
+		},
+		JobsCompleted: m.completed.Load(),
+		JobsFailed:    m.failed.Load(),
+		JobsCanceled:  m.canceled.Load(),
+
+		QueueDepth:  queueDepth,
+		Workers:     workers,
+		WorkersBusy: int(m.workersBusy.Load()),
+
+		CacheHits:    m.cacheHits.Load(),
+		CacheMisses:  m.cacheMisses.Load(),
+		CacheEntries: cacheEntries,
+
+		SatConflicts:    m.satConflicts.Load(),
+		SatDecisions:    m.satDecisions.Load(),
+		SatPropagations: m.satPropagations.Load(),
+		SatRestarts:     m.satRestarts.Load(),
+
+		SolveBuckets: make(map[string]int64, len(latencyBuckets)),
+	}
+	if total := s.CacheHits + s.CacheMisses; total > 0 {
+		s.CacheHitRate = float64(s.CacheHits) / float64(total)
+	}
+	m.latMu.Lock()
+	s.SolveCount = m.latCount
+	s.SolveSecondsSum = float64(m.latSumNanos) / 1e9
+	for i, bound := range latencyBuckets {
+		s.SolveBuckets[fmt.Sprintf("le_%g", bound)] = m.latBuckets[i]
+	}
+	m.latMu.Unlock()
+	return s
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (counters and gauges; solve latency as a cumulative histogram).
+func (s Snapshot) WritePrometheus(w io.Writer) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+
+	fmt.Fprintf(w, "# HELP buffy_jobs_submitted_total Analysis jobs submitted, by kind.\n# TYPE buffy_jobs_submitted_total counter\n")
+	kinds := make([]string, 0, len(s.JobsSubmitted))
+	for k := range s.JobsSubmitted {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fmt.Fprintf(w, "buffy_jobs_submitted_total{kind=%q} %d\n", k, s.JobsSubmitted[k])
+	}
+	counter("buffy_jobs_completed_total", "Jobs that finished with a result.", s.JobsCompleted)
+	counter("buffy_jobs_failed_total", "Jobs that failed (bad program, deadline).", s.JobsFailed)
+	counter("buffy_jobs_canceled_total", "Jobs aborted by cancellation.", s.JobsCanceled)
+
+	gauge("buffy_queue_depth", "Jobs waiting for a worker.", float64(s.QueueDepth))
+	gauge("buffy_workers", "Configured worker pool size.", float64(s.Workers))
+	gauge("buffy_workers_busy", "Workers currently solving.", float64(s.WorkersBusy))
+
+	counter("buffy_cache_hits_total", "Analyses served from the result cache.", s.CacheHits)
+	counter("buffy_cache_misses_total", "Analyses that had to solve.", s.CacheMisses)
+	gauge("buffy_cache_entries", "Results currently cached.", float64(s.CacheEntries))
+	gauge("buffy_cache_hit_rate", "Lifetime cache hit fraction.", s.CacheHitRate)
+
+	counter("buffy_sat_conflicts_total", "Cumulative CDCL conflicts.", s.SatConflicts)
+	counter("buffy_sat_decisions_total", "Cumulative CDCL decisions.", s.SatDecisions)
+	counter("buffy_sat_propagations_total", "Cumulative unit propagations.", s.SatPropagations)
+	counter("buffy_sat_restarts_total", "Cumulative CDCL restarts.", s.SatRestarts)
+
+	fmt.Fprintf(w, "# HELP buffy_solve_duration_seconds Analysis solve wall time.\n# TYPE buffy_solve_duration_seconds histogram\n")
+	for _, bound := range latencyBuckets {
+		fmt.Fprintf(w, "buffy_solve_duration_seconds_bucket{le=%q} %d\n",
+			fmt.Sprintf("%g", bound), s.SolveBuckets[fmt.Sprintf("le_%g", bound)])
+	}
+	fmt.Fprintf(w, "buffy_solve_duration_seconds_bucket{le=\"+Inf\"} %d\n", s.SolveCount)
+	fmt.Fprintf(w, "buffy_solve_duration_seconds_sum %g\n", s.SolveSecondsSum)
+	fmt.Fprintf(w, "buffy_solve_duration_seconds_count %d\n", s.SolveCount)
+}

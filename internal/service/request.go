@@ -1,0 +1,213 @@
+// Package service is Buffy's analysis service layer: a job engine that
+// fans analysis requests out across a bounded worker pool, deduplicates
+// repeated work through a content-addressed result cache, enforces
+// per-job deadlines through cooperative solver cancellation, and exposes
+// the observability counters (queue depth, cache hit rate, solve
+// latencies, cumulative SAT effort) a long-lived query service needs.
+//
+// The package is the bridge between the one-shot core facade and the
+// cmd/buffy-serve HTTP front-end: handlers submit Requests, workers run
+// them through core.Program's context-aware entry points, and results
+// are cached under a hash of everything that determines the answer.
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"time"
+
+	"buffy/internal/backend/fperf"
+	"buffy/internal/backend/smtbe"
+	"buffy/internal/core"
+	"buffy/internal/smt/sat"
+)
+
+// Kind selects which analysis a request runs.
+type Kind string
+
+// Analysis kinds, mirroring the core facade's query directions.
+const (
+	KindVerify     Kind = "verify"     // BMC: do the asserts hold on all executions?
+	KindWitness    Kind = "witness"    // FPerf direction: find a query witness trace
+	KindSynthesize Kind = "synthesize" // FPerf back-end: synthesize a guaranteeing workload
+)
+
+func (k Kind) valid() bool {
+	switch k {
+	case KindVerify, KindWitness, KindSynthesize:
+		return true
+	}
+	return false
+}
+
+// Request is one analysis query. Every field that can change the answer
+// participates in the cache key.
+type Request struct {
+	Kind   Kind   `json:"kind,omitempty"`
+	Source string `json:"source"`
+	// T is the time horizon (steps); defaults to 4 like buffyc.
+	T      int              `json:"t,omitempty"`
+	Params map[string]int64 `json:"params,omitempty"`
+	// Model selects buffer precision: "list" (default), "count", "multiclass".
+	Model string `json:"model,omitempty"`
+	// Width is the solver integer bit width (0 = default 12).
+	Width           int `json:"width,omitempty"`
+	BufferCap       int `json:"buffer_cap,omitempty"`
+	OutBufferCap    int `json:"out_buffer_cap,omitempty"`
+	ArrivalsPerStep int `json:"arrivals_per_step,omitempty"`
+	NumClasses      int `json:"num_classes,omitempty"`
+	MaxBytes        int `json:"max_bytes,omitempty"`
+	ListCap         int `json:"list_cap,omitempty"`
+	// MaxConflicts bounds each solver call (0 = unlimited).
+	MaxConflicts int64 `json:"max_conflicts,omitempty"`
+	// TimeoutMS bounds the whole job's wall time; 0 uses the engine's
+	// default. The deadline aborts the in-flight CDCL search cooperatively.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// MaxHorizon bounds accepted time horizons: the encoding grows with T and
+// a service must not let one request monopolize the pool indefinitely.
+const MaxHorizon = 256
+
+// Validate rejects malformed requests before they reach the queue.
+func (r *Request) Validate() error {
+	if !r.Kind.valid() {
+		return fmt.Errorf("service: unknown kind %q (want verify | witness | synthesize)", r.Kind)
+	}
+	if r.Source == "" {
+		return fmt.Errorf("service: empty program source")
+	}
+	if r.T < 0 || r.T > MaxHorizon {
+		return fmt.Errorf("service: horizon T=%d out of range [0, %d]", r.T, MaxHorizon)
+	}
+	if r.TimeoutMS < 0 {
+		return fmt.Errorf("service: negative timeout_ms")
+	}
+	return nil
+}
+
+func (r *Request) analysis() core.Analysis {
+	t := r.T
+	if t == 0 {
+		t = 4
+	}
+	return core.Analysis{
+		T:               t,
+		Params:          r.Params,
+		Model:           r.Model,
+		Width:           r.Width,
+		BufferCap:       r.BufferCap,
+		OutBufferCap:    r.OutBufferCap,
+		ArrivalsPerStep: r.ArrivalsPerStep,
+		NumClasses:      r.NumClasses,
+		MaxBytes:        r.MaxBytes,
+		ListCap:         r.ListCap,
+		MaxConflicts:    r.MaxConflicts,
+		Timeout:         time.Duration(r.TimeoutMS) * time.Millisecond,
+	}
+}
+
+// CacheKey returns the content address of the request: a hash over the
+// program source, buffer model, horizon, query kind, compile-time
+// parameters and solver options. Two requests with equal keys are
+// guaranteed to produce the same analysis answer, so the engine serves
+// repeats straight from cache without re-solving.
+func (r *Request) CacheKey() string {
+	h := sha256.New()
+	writeField := func(s string) {
+		var n [8]byte
+		binary.LittleEndian.PutUint64(n[:], uint64(len(s)))
+		h.Write(n[:])
+		h.Write([]byte(s))
+	}
+	writeInt := func(v int64) {
+		var n [8]byte
+		binary.LittleEndian.PutUint64(n[:], uint64(v))
+		h.Write(n[:])
+	}
+	writeField(string(r.Kind))
+	writeField(r.Source)
+	writeField(r.Model)
+	writeInt(int64(r.T))
+	writeInt(int64(r.Width))
+	writeInt(int64(r.BufferCap))
+	writeInt(int64(r.OutBufferCap))
+	writeInt(int64(r.ArrivalsPerStep))
+	writeInt(int64(r.NumClasses))
+	writeInt(int64(r.MaxBytes))
+	writeInt(int64(r.ListCap))
+	writeInt(r.MaxConflicts)
+	names := make([]string, 0, len(r.Params))
+	for name := range r.Params {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		writeField(name)
+		writeInt(r.Params[name])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Result is the serializable outcome of an analysis job. Trace is set for
+// verify/witness results that produced one; Workload for synthesis.
+type Result struct {
+	Kind   Kind         `json:"kind"`
+	Status string       `json:"status"`
+	Trace  *smtbe.Trace `json:"trace,omitempty"`
+	// Synthesis outcome (kind == synthesize).
+	WorkloadFound bool   `json:"workload_found,omitempty"`
+	Workload      string `json:"workload,omitempty"`
+	Checks        int    `json:"checks,omitempty"`
+	// Solver effort and encoding size.
+	SatStats   sat.Stats `json:"sat_stats"`
+	NumClauses int       `json:"num_clauses,omitempty"`
+	NumVars    int       `json:"num_vars,omitempty"`
+	DurationMS int64     `json:"duration_ms"`
+	// CacheHit marks a response served from the result cache.
+	CacheHit bool `json:"cache_hit"`
+}
+
+// conclusive reports whether the result is a definite answer worth
+// caching; Unknown outcomes (budget exhausted, cancelled) are not.
+func (res *Result) conclusive() bool {
+	switch res.Status {
+	case smtbe.Holds.String(), smtbe.CounterexampleFound.String(),
+		smtbe.WitnessFound.String(), smtbe.NoWitness.String():
+		return true
+	case "synthesized", "no-workload":
+		return true
+	}
+	return false
+}
+
+func resultFromCheck(kind Kind, r *smtbe.Result) *Result {
+	return &Result{
+		Kind:       kind,
+		Status:     r.Status.String(),
+		Trace:      r.Trace,
+		SatStats:   r.SatStats,
+		NumClauses: r.NumClauses,
+		NumVars:    r.NumVars,
+		DurationMS: r.Duration.Milliseconds(),
+	}
+}
+
+func resultFromSynth(r *fperf.Result) *Result {
+	status := "no-workload"
+	res := &Result{
+		Kind:          KindSynthesize,
+		Status:        status,
+		WorkloadFound: r.Found,
+		Checks:        r.Checks,
+		DurationMS:    r.Duration.Milliseconds(),
+	}
+	if r.Found {
+		res.Status = "synthesized"
+		res.Workload = r.Workload.String()
+	}
+	return res
+}

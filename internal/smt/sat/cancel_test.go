@@ -1,0 +1,71 @@
+package sat
+
+import (
+	"testing"
+	"time"
+)
+
+// TestCancelAbortsSearch pins the cooperative-cancellation contract: a
+// hard instance (PHP(10,9), far beyond what this CDCL solves quickly)
+// returns Unknown within a small bound after the cancel channel closes.
+func TestCancelAbortsSearch(t *testing.T) {
+	s := New()
+	pigeonhole(s, 10, 9)
+
+	cancel := make(chan struct{})
+	done := make(chan Status, 1)
+	go func() { done <- s.SolveLimited(Limits{Cancel: cancel}) }()
+
+	time.Sleep(100 * time.Millisecond) // let the search dig in
+	cancelAt := time.Now()
+	close(cancel)
+	select {
+	case got := <-done:
+		if got != Unknown {
+			t.Fatalf("cancelled solve: got %v, want unknown", got)
+		}
+		// The loop polls every 64 search steps; unwinding is near-instant.
+		if elapsed := time.Since(cancelAt); elapsed > 2*time.Second {
+			t.Errorf("solver took %v to honour cancel", elapsed)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("solver ignored cancellation")
+	}
+}
+
+// TestCancelledBeforeSolve returns Unknown immediately.
+func TestCancelledBeforeSolve(t *testing.T) {
+	s := New()
+	pigeonhole(s, 10, 9)
+	cancel := make(chan struct{})
+	close(cancel)
+	if got := s.SolveLimited(Limits{Cancel: cancel}); got != Unknown {
+		t.Fatalf("pre-cancelled solve: got %v, want unknown", got)
+	}
+}
+
+// TestSolveAfterCancel pins that a cancelled solver stays usable: the
+// service reuses nothing across jobs, but incremental users (Houdini,
+// k-induction) re-Solve after an abort.
+func TestSolveAfterCancel(t *testing.T) {
+	s := New()
+	newVars(s, 2)
+	s.AddClause(lit(1, false), lit(2, false))
+	cancel := make(chan struct{})
+	close(cancel)
+	if got := s.SolveLimited(Limits{Cancel: cancel}); got != Unknown {
+		t.Fatalf("cancelled: got %v", got)
+	}
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("re-solve after cancel: got %v, want sat", got)
+	}
+}
+
+// TestNilCancelIsUnlimited: the zero Limits value must behave as before.
+func TestNilCancelIsUnlimited(t *testing.T) {
+	s := New()
+	pigeonhole(s, 5, 5)
+	if got := s.SolveLimited(Limits{}); got != Sat {
+		t.Fatalf("PHP(5,5): got %v, want sat", got)
+	}
+}

@@ -75,6 +75,24 @@ type Stats struct {
 type Limits struct {
 	MaxConflicts int64
 	Deadline     time.Time
+	// Cancel aborts the search cooperatively when it becomes readable
+	// (typically a context's Done channel). The solver polls it on the
+	// same amortized cadence as MaxConflicts, so Solve returns Unknown
+	// within a bounded number of search steps after cancellation.
+	Cancel <-chan struct{}
+}
+
+// cancelled reports whether the cancel channel is readable.
+func (l Limits) cancelled() bool {
+	if l.Cancel == nil {
+		return false
+	}
+	select {
+	case <-l.Cancel:
+		return true
+	default:
+		return false
+	}
 }
 
 // Solver is a CDCL SAT solver. Create with New, add variables and clauses,
@@ -648,6 +666,9 @@ func (s *Solver) SolveLimited(lim Limits, assumptions ...cnf.Lit) Status {
 	if !s.ok {
 		return Unsat
 	}
+	if lim.cancelled() {
+		return Unknown
+	}
 	s.backtrackTo(0)
 	// (Re)fill the heap with all unassigned vars.
 	for v := cnf.Var(1); int(v) <= s.numVars; v++ {
@@ -674,6 +695,12 @@ func (s *Solver) SolveLimited(lim Limits, assumptions ...cnf.Lit) Status {
 		}
 		if confl != nil {
 			s.stats.Conflicts++
+			// Conflict storms bypass the decision-path budget check below,
+			// so poll the cancel channel here too (same 64-step cadence).
+			if s.stats.Conflicts&63 == 0 && lim.cancelled() {
+				s.backtrackTo(0)
+				return Unknown
+			}
 			if s.decisionLevel() == 0 {
 				s.ok = false
 				return Unsat
@@ -703,6 +730,10 @@ func (s *Solver) SolveLimited(lim Limits, assumptions ...cnf.Lit) Status {
 		checkTick++
 		if checkTick&63 == 0 {
 			if lim.MaxConflicts > 0 && s.stats.Conflicts-conflictsAtStart > lim.MaxConflicts {
+				s.backtrackTo(0)
+				return Unknown
+			}
+			if lim.cancelled() {
 				s.backtrackTo(0)
 				return Unknown
 			}

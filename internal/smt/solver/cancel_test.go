@@ -1,0 +1,88 @@
+package solver
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"buffy/internal/smt/term"
+)
+
+// hardInstance asserts a term-level pigeonhole principle PHP(10,9):
+// unsat, and exponentially hard for CDCL without symmetry breaking, so a
+// fresh solve reliably outlives the test's cancellation window.
+func hardInstance(s *Solver) {
+	const pigeons, holes = 10, 9
+	b := s.Builder()
+	p := make([][]*term.Term, pigeons)
+	for i := range p {
+		p[i] = make([]*term.Term, holes)
+		for h := range p[i] {
+			p[i][h] = b.Var(fmt.Sprintf("p%d_%d", i, h), term.Bool)
+		}
+		s.Assert(b.Or(p[i]...)) // each pigeon sits somewhere
+	}
+	for h := 0; h < holes; h++ {
+		for i := 0; i < pigeons; i++ {
+			for j := i + 1; j < pigeons; j++ {
+				s.Assert(b.Not(b.And(p[i][h], p[j][h]))) // no sharing
+			}
+		}
+	}
+}
+
+func TestCheckContextCancel(t *testing.T) {
+	s := New(Options{Width: 12})
+	hardInstance(s)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan Result, 1)
+	go func() { done <- s.CheckContext(ctx) }()
+	time.Sleep(50 * time.Millisecond)
+	cancelAt := time.Now()
+	cancel()
+	select {
+	case got := <-done:
+		// The instance is unsat; if the search finished before the cancel
+		// landed, Unsat is the honest answer — both outcomes are legal,
+		// what matters is that the call returned promptly.
+		if got != Unknown && got != Unsat {
+			t.Fatalf("got %v, want unknown or unsat", got)
+		}
+		if elapsed := time.Since(cancelAt); elapsed > 2*time.Second {
+			t.Errorf("check took %v to honour cancellation", elapsed)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("CheckContext ignored cancellation")
+	}
+}
+
+func TestCheckContextDeadline(t *testing.T) {
+	s := New(Options{Width: 12})
+	hardInstance(s)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	got := s.CheckContext(ctx)
+	if got != Unknown && got != Unsat {
+		t.Fatalf("got %v, want unknown or unsat", got)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("deadline ignored: check ran %v", elapsed)
+	}
+}
+
+// TestCheckAssumingContextBackground pins that the plain entry points
+// still work through the context path (nil Done channel).
+func TestCheckAssumingContextBackground(t *testing.T) {
+	s := New(Options{Width: 12})
+	b := s.Builder()
+	x := b.Var("x", term.Int)
+	s.Assert(b.Ge(x, b.IntConst(5)))
+	if got := s.CheckAssumingContext(context.Background(), b.Le(x, b.IntConst(10))); got != Sat {
+		t.Fatalf("got %v, want sat", got)
+	}
+	if got := s.CheckAssumingContext(context.Background(), b.Le(x, b.IntConst(4))); got != Unsat {
+		t.Fatalf("got %v, want unsat", got)
+	}
+}

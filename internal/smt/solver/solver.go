@@ -11,6 +11,7 @@
 package solver
 
 import (
+	"context"
 	"time"
 
 	"buffy/internal/smt/bitblast"
@@ -106,6 +107,18 @@ func (s *Solver) Check() Result {
 // CheckAssuming decides satisfiability of the asserted set together with
 // the given boolean terms, without adding them permanently.
 func (s *Solver) CheckAssuming(assumptions ...*term.Term) Result {
+	return s.CheckAssumingContext(context.Background(), assumptions...)
+}
+
+// CheckContext is Check with cooperative cancellation: the SAT search
+// aborts (returning Unknown) soon after ctx is cancelled, and the
+// context's deadline — if earlier than Options.Timeout — bounds the call.
+func (s *Solver) CheckContext(ctx context.Context) Result {
+	return s.CheckAssumingContext(ctx)
+}
+
+// CheckAssumingContext is CheckAssuming with cooperative cancellation.
+func (s *Solver) CheckAssumingContext(ctx context.Context, assumptions ...*term.Term) Result {
 	if s.unsat {
 		return Unsat
 	}
@@ -119,9 +132,12 @@ func (s *Solver) CheckAssuming(assumptions ...*term.Term) Result {
 		}
 		lits = append(lits, s.bl.Bool(a))
 	}
-	lim := sat.Limits{MaxConflicts: s.opts.MaxConflicts}
+	lim := sat.Limits{MaxConflicts: s.opts.MaxConflicts, Cancel: ctx.Done()}
 	if s.opts.Timeout > 0 {
 		lim.Deadline = time.Now().Add(s.opts.Timeout)
+	}
+	if d, ok := ctx.Deadline(); ok && (lim.Deadline.IsZero() || d.Before(lim.Deadline)) {
+		lim.Deadline = d
 	}
 	switch s.sat.SolveLimited(lim, lits...) {
 	case sat.Sat:
