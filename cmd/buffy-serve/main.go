@@ -71,5 +71,13 @@ func main() {
 	if err := engine.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.Canceled) {
 		log.Printf("buffy-serve: engine drain: %v", err)
 	}
+	// A forced engine drain wakes synchronous handlers that still need to
+	// write their 503s; give the HTTP server a moment to flush them before
+	// the process exits.
+	flushCtx, flushCancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer flushCancel()
+	if err := server.Shutdown(flushCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("buffy-serve: connection flush: %v", err)
+	}
 	log.Printf("buffy-serve: bye")
 }

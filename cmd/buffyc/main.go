@@ -113,7 +113,12 @@ func main() {
 			fatal(err)
 		}
 		if !res.Found {
-			fmt.Printf("%s: no workload guarantees the query\n", prog.Name())
+			if res.Inconclusive {
+				fmt.Printf("%s: synthesis inconclusive — solver budget exhausted (%d checks)\n",
+					prog.Name(), res.Checks)
+			} else {
+				fmt.Printf("%s: no workload guarantees the query\n", prog.Name())
+			}
 			return
 		}
 		fmt.Printf("%s: workload synthesized in %.3fs (%d checks):\n  %v\n",

@@ -90,6 +90,12 @@ type Options struct {
 type Result struct {
 	Found    bool
 	Workload Workload
+	// Inconclusive is set when a solver check returned Unknown (conflict
+	// budget exhausted). A Found=false result with Inconclusive set means
+	// "don't know", not a proof that no workload exists; a Found=true
+	// result is still sound (every kept candidate passed definite checks)
+	// but may be under-generalized.
+	Inconclusive bool
 	// Checks counts solver queries spent in generalization.
 	Checks   int
 	Duration time.Duration
@@ -125,14 +131,25 @@ func SynthesizeContext(ctx context.Context, info *typecheck.Info, opts Options) 
 	holds := b.And(c.AssertHolds(), c.AssertReached())
 	res := &Result{Compiled: c}
 
+	// check runs one solver query and reports whether it came back with the
+	// wanted outcome. Unknown without a cancelled context means the conflict
+	// budget ran out: the overall answer is then inconclusive, not definite.
+	check := func(t *term.Term, want solver.Result) bool {
+		res.Checks++
+		out := sv.CheckAssumingContext(ctx, t)
+		if out == solver.Unknown && ctx.Err() == nil {
+			res.Inconclusive = true
+		}
+		return out == want
+	}
+
 	// Step 1: find one witness.
-	res.Checks++
-	if sv.CheckAssumingContext(ctx, holds) != solver.Sat {
+	if !check(holds, solver.Sat) {
 		res.Duration = time.Since(start)
 		if err := ctx.Err(); err != nil {
 			return res, err
 		}
-		return res, nil // query unreachable: no workload exists
+		return res, nil // Unsat: query unreachable, no workload exists
 	}
 
 	// Step 2: abstract the witness into concrete per-(step,buffer) counts.
@@ -144,16 +161,14 @@ func SynthesizeContext(ctx context.Context, info *typecheck.Info, opts Options) 
 
 	// The implication check: workload ⇒ query on all executions.
 	implies := func(w Workload) bool {
-		res.Checks++
 		ant := w.Term(c)
 		// Unsat(workload ∧ ¬holds) means the workload guarantees the query.
-		if sv.CheckAssumingContext(ctx, b.And(ant, b.Not(holds))) != solver.Unsat {
+		if !check(b.And(ant, b.Not(holds)), solver.Unsat) {
 			return false
 		}
 		// Non-vacuity: some traffic satisfies the workload (and the
 		// program assumptions).
-		res.Checks++
-		return sv.CheckAssumingContext(ctx, ant) == solver.Sat
+		return check(ant, solver.Sat)
 	}
 
 	if !implies(wl) {

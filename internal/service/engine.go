@@ -244,9 +244,9 @@ func (e *Engine) Submit(req *Request) (*Job, error) {
 	if e.closed {
 		return nil, ErrClosed
 	}
-	e.met.recordSubmit(req.Kind)
 
 	if cached, ok := e.cache.get(key); ok {
+		e.met.recordSubmit(req.Kind)
 		e.met.cacheHits.Add(1)
 		job := e.newJobLocked(req)
 		// Shallow copy: the trace/workload payload is shared (immutable),
@@ -269,8 +269,12 @@ func (e *Engine) Submit(req *Request) (*Job, error) {
 	default:
 		delete(e.jobs, job.ID)
 		job.cancel()
+		// Rejected work never counts as submitted: submitted must
+		// reconcile with completed+failed+canceled.
+		e.met.rejected.Add(1)
 		return nil, ErrQueueFull
 	}
+	e.met.recordSubmit(req.Kind)
 	e.met.cacheMisses.Add(1)
 	return job, nil
 }
@@ -365,7 +369,7 @@ func (e *Engine) runJob(job *Job) {
 	}
 
 	start := time.Now()
-	res, err := runAnalysis(ctx, job.Req)
+	res, err := runAnalysisSafe(ctx, job.Req)
 	elapsed := time.Since(start)
 
 	switch {
@@ -385,6 +389,18 @@ func (e *Engine) runJob(job *Job) {
 		job.finishFromWorker(StateFailed, nil, err)
 	}
 	e.noteFinished(job.ID)
+}
+
+// runAnalysisSafe shields the worker pool from panics escaping the
+// analysis stack: Validate should reject anything that can panic, but a
+// panic that slips through must fail one job, not crash the service.
+func runAnalysisSafe(ctx context.Context, req *Request) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("service: analysis panicked: %v", r)
+		}
+	}()
+	return runAnalysis(ctx, req)
 }
 
 // runAnalysis executes one request through the core facade's

@@ -196,6 +196,15 @@ func TestQueueFull(t *testing.T) {
 	if _, err := e.Submit(fqWitnessReq(9)); !errors.Is(err, ErrQueueFull) {
 		t.Errorf("err = %v, want ErrQueueFull", err)
 	}
+	m := e.Metrics()
+	if m.JobsRejected != 1 {
+		t.Errorf("rejected counter = %d, want 1", m.JobsRejected)
+	}
+	// A shed submission must not count as submitted, or submitted would
+	// never reconcile with completed+failed+canceled.
+	if got := m.JobsSubmitted[string(KindWitness)]; got != 2 {
+		t.Errorf("submitted counter = %d, want 2 (rejection must not count)", got)
+	}
 	first.Cancel()
 	second.Cancel()
 	if j, ok := e.Job(first.ID); !ok || j != first {
@@ -211,6 +220,14 @@ func TestValidation(t *testing.T) {
 		{Kind: KindVerify, Source: ""},
 		{Kind: KindVerify, Source: "x", T: MaxHorizon + 1},
 		{Kind: KindVerify, Source: "x", TimeoutMS: -1},
+		// Widths outside [2, 62] would panic in bitblast.New; the
+		// validator must stop them at the door.
+		{Kind: KindVerify, Source: "x", Width: 1},
+		{Kind: KindVerify, Source: "x", Width: -4},
+		{Kind: KindVerify, Source: "x", Width: 63},
+		{Kind: KindVerify, Source: "x", MaxConflicts: -1},
+		{Kind: KindVerify, Source: "x", BufferCap: -1},
+		{Kind: KindVerify, Source: "x", ListCap: -1},
 	}
 	for i, req := range cases {
 		if _, err := e.Submit(req); err == nil {
@@ -293,6 +310,58 @@ func TestInconclusiveNotCached(t *testing.T) {
 	}
 	if m := e.Metrics(); m.CacheHits != 0 {
 		t.Errorf("cache hits = %d, want 0", m.CacheHits)
+	}
+}
+
+// TestPanicFailsJobNotService pins the worker-pool panic shield: a panic
+// escaping the analysis stack fails that one job instead of crashing the
+// process. The request bypasses Submit's validation to simulate a panic
+// source Validate does not know about (here: an unsupported bit width).
+func TestPanicFailsJobNotService(t *testing.T) {
+	e := New(Config{Workers: 1})
+	defer shutdown(t, e)
+	req := fqWitnessReq(2)
+	req.Width = 1 // bitblast.New panics on this
+	e.mu.Lock()
+	job := e.newJobLocked(req)
+	e.mu.Unlock()
+	e.runJob(job) // must not propagate the panic
+	if st := job.State(); st != StateFailed {
+		t.Errorf("state = %s, want failed", st)
+	}
+	if _, err := job.Result(); err == nil {
+		t.Error("expected a panic-derived error")
+	}
+	if m := e.Metrics(); m.JobsFailed != 1 {
+		t.Errorf("failed counter = %d, want 1", m.JobsFailed)
+	}
+}
+
+// TestSynthInconclusiveNotCached pins that a budget-exhausted synthesis
+// reports Unknown — not a definite (and cacheable) "no-workload".
+func TestSynthInconclusiveNotCached(t *testing.T) {
+	e := New(Config{Workers: 1})
+	defer shutdown(t, e)
+	req := fqWitnessReq(6)
+	req.Kind = KindSynthesize
+	req.MaxConflicts = 1
+	j1, err := e.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := waitDone(t, j1, time.Minute)
+	if r1.Status != "unknown" {
+		t.Fatalf("status = %s, want unknown", r1.Status)
+	}
+	if r1.WorkloadFound {
+		t.Error("inconclusive synthesis must not claim a workload")
+	}
+	j2, err := e.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2 := waitDone(t, j2, time.Minute); r2.CacheHit {
+		t.Error("inconclusive synthesis must not be served from cache")
 	}
 }
 

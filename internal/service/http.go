@@ -103,16 +103,21 @@ func submitHandler(e *Engine, kind Kind) http.HandlerFunc {
 			writeError(w, StatusClientClosedRequest, fmt.Errorf("request abandoned: %w", r.Context().Err()))
 			return
 		}
-		writeJSON(w, statusOf(job), viewOf(job))
+		writeJSON(w, statusOf(e, job), viewOf(job))
 	}
 }
 
 // statusOf maps a terminal job to its HTTP status.
-func statusOf(job *Job) int {
+func statusOf(e *Engine, job *Job) int {
 	switch job.State() {
 	case StateDone:
 		return http.StatusOK
 	case StateCanceled:
+		// A job can also be canceled by Shutdown's forced drain; the client
+		// did nothing wrong then and gets 503, not 499.
+		if e.Closed() {
+			return http.StatusServiceUnavailable
+		}
 		return StatusClientClosedRequest
 	default: // StateFailed
 		_, err := job.Result()

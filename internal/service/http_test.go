@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -189,6 +190,13 @@ func TestHTTPErrors(t *testing.T) {
 		t.Errorf("empty source: %d, want 400", resp.StatusCode)
 	}
 
+	// An out-of-range width must be rejected up front (400), never panic a
+	// worker: this request used to be a one-shot remote crash.
+	resp, _ = postJSON(t, srv.URL+"/v1/witness", map[string]any{"source": quickProg, "width": 1})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("width 1: %d, want 400", resp.StatusCode)
+	}
+
 	// A program that fails to parse is the client's fault: 422.
 	resp, body := postJSON(t, srv.URL+"/v1/verify", map[string]any{"source": "not a program", "t": 2})
 	if resp.StatusCode != http.StatusUnprocessableEntity {
@@ -242,6 +250,51 @@ func TestHTTPClientAbandonCancelsSolve(t *testing.T) {
 			t.Fatalf("worker still busy after abandonment")
 		}
 		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestHTTPShutdownCancelReturns503 pins the status of a synchronous
+// request whose solve is canceled by Shutdown's forced drain: the client
+// never disconnected, so it gets 503 (shutting down), not 499.
+func TestHTTPShutdownCancelReturns503(t *testing.T) {
+	e := New(Config{Workers: 1})
+	srv := httptest.NewServer(NewHandler(e))
+	defer srv.Close()
+
+	type outcome struct {
+		status int
+		body   []byte
+	}
+	got := make(chan outcome, 1)
+	go func() {
+		data, _ := json.Marshal(map[string]any{"source": qm.FQBuggyQuerySrc, "t": 10, "params": map[string]int64{"N": 3}})
+		resp, err := http.Post(srv.URL+"/v1/witness", "application/json", bytes.NewReader(data))
+		if err != nil {
+			got <- outcome{}
+			return
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		got <- outcome{resp.StatusCode, body}
+	}()
+	for e.Metrics().WorkersBusy == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	// An already-expired drain context forces immediate cancellation of the
+	// in-flight solve.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := e.Shutdown(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("forced shutdown: %v", err)
+	}
+	select {
+	case o := <-got:
+		if o.status != http.StatusServiceUnavailable {
+			t.Errorf("status = %d, want 503 (%s)", o.status, o.body)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("synchronous request did not return after forced shutdown")
 	}
 }
 

@@ -26,6 +26,7 @@ type metrics struct {
 	completed atomic.Int64 // jobs that produced a conclusive or unknown result
 	failed    atomic.Int64 // jobs that errored (parse/type/compile errors, deadline)
 	canceled  atomic.Int64 // jobs aborted by explicit cancel or client abandonment
+	rejected  atomic.Int64 // submissions shed because the queue was full
 
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
@@ -84,6 +85,7 @@ type Snapshot struct {
 	JobsCompleted int64            `json:"jobs_completed"`
 	JobsFailed    int64            `json:"jobs_failed"`
 	JobsCanceled  int64            `json:"jobs_canceled"`
+	JobsRejected  int64            `json:"jobs_rejected"`
 
 	QueueDepth  int `json:"queue_depth"`
 	Workers     int `json:"workers"`
@@ -114,6 +116,7 @@ func (m *metrics) snapshot(queueDepth, workers, cacheEntries int) Snapshot {
 		JobsCompleted: m.completed.Load(),
 		JobsFailed:    m.failed.Load(),
 		JobsCanceled:  m.canceled.Load(),
+		JobsRejected:  m.rejected.Load(),
 
 		QueueDepth:  queueDepth,
 		Workers:     workers,
@@ -165,6 +168,7 @@ func (s Snapshot) WritePrometheus(w io.Writer) {
 	counter("buffy_jobs_completed_total", "Jobs that finished with a result.", s.JobsCompleted)
 	counter("buffy_jobs_failed_total", "Jobs that failed (bad program, deadline).", s.JobsFailed)
 	counter("buffy_jobs_canceled_total", "Jobs aborted by cancellation.", s.JobsCanceled)
+	counter("buffy_jobs_rejected_total", "Submissions shed because the queue was full.", s.JobsRejected)
 
 	gauge("buffy_queue_depth", "Jobs waiting for a worker.", float64(s.QueueDepth))
 	gauge("buffy_workers", "Configured worker pool size.", float64(s.Workers))

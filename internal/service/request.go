@@ -22,6 +22,7 @@ import (
 	"buffy/internal/backend/fperf"
 	"buffy/internal/backend/smtbe"
 	"buffy/internal/core"
+	"buffy/internal/smt/bitblast"
 	"buffy/internal/smt/sat"
 )
 
@@ -82,6 +83,24 @@ func (r *Request) Validate() error {
 	}
 	if r.T < 0 || r.T > MaxHorizon {
 		return fmt.Errorf("service: horizon T=%d out of range [0, %d]", r.T, MaxHorizon)
+	}
+	// bitblast.New panics outside [MinWidth, MaxWidth]; an unchecked width
+	// must never reach a worker.
+	if r.Width != 0 && (r.Width < bitblast.MinWidth || r.Width > bitblast.MaxWidth) {
+		return fmt.Errorf("service: width %d out of range (0 for default, else [%d, %d])",
+			r.Width, bitblast.MinWidth, bitblast.MaxWidth)
+	}
+	for name, v := range map[string]int{
+		"buffer_cap": r.BufferCap, "out_buffer_cap": r.OutBufferCap,
+		"arrivals_per_step": r.ArrivalsPerStep, "num_classes": r.NumClasses,
+		"max_bytes": r.MaxBytes, "list_cap": r.ListCap,
+	} {
+		if v < 0 {
+			return fmt.Errorf("service: negative %s", name)
+		}
+	}
+	if r.MaxConflicts < 0 {
+		return fmt.Errorf("service: negative max_conflicts")
 	}
 	if r.TimeoutMS < 0 {
 		return fmt.Errorf("service: negative timeout_ms")
@@ -197,7 +216,13 @@ func resultFromCheck(kind Kind, r *smtbe.Result) *Result {
 }
 
 func resultFromSynth(r *fperf.Result) *Result {
+	// A Found=false answer is only the definite "no-workload" when every
+	// solver check was conclusive; a budget-exhausted synthesis is Unknown
+	// and must not be cached as a definite answer.
 	status := "no-workload"
+	if r.Inconclusive {
+		status = "unknown"
+	}
 	res := &Result{
 		Kind:          KindSynthesize,
 		Status:        status,

@@ -23,6 +23,15 @@ import (
 // queue indices in every model in this repository.
 const DefaultWidth = 12
 
+// MinWidth and MaxWidth bound the supported integer widths: below two bits
+// two's complement degenerates, above 62 bits intermediate int64 arithmetic
+// in the encoder would overflow. New panics outside this range, so callers
+// accepting untrusted widths must validate against these bounds first.
+const (
+	MinWidth = 2
+	MaxWidth = 62
+)
+
 type gateKey struct {
 	op   uint8
 	a, b cnf.Lit
@@ -49,7 +58,7 @@ type Blaster struct {
 
 // New returns a Blaster with the given integer width emitting clauses into s.
 func New(width int, s *sat.Solver) *Blaster {
-	if width < 2 || width > 62 {
+	if width < MinWidth || width > MaxWidth {
 		panic(fmt.Sprintf("bitblast: unsupported width %d", width))
 	}
 	bl := &Blaster{
