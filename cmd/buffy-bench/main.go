@@ -12,6 +12,7 @@
 //	buffy-bench -exp a2       # ablation: modular (k-induction) vs monolithic
 //	buffy-bench -exp a3       # extension: Houdini invariant inference
 //	buffy-bench -exp a4       # extension: throughput vs ack-path delay
+//	buffy-bench -exp portfolio # extension: portfolio vs single-config solver
 //	buffy-bench -exp all
 package main
 
@@ -35,10 +36,11 @@ var experiments = []struct {
 	{"a2", "ablation — modular k-induction vs monolithic BMC", runA2},
 	{"a3", "extension — Houdini invariant inference (§5)", runA3},
 	{"a4", "extension — throughput vs ack-path delay (composed instances)", runA4},
+	{"portfolio", "extension — portfolio vs single-config solver (first-wins race)", runPortfolioExp},
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (table1 fig6 cs1 cs1b cs2 a1 a2 a3 a4 all)")
+	exp := flag.String("exp", "all", "experiment id (table1 fig6 cs1 cs1b cs2 a1 a2 a3 a4 portfolio all)")
 	flag.Parse()
 	ran := false
 	for _, e := range experiments {

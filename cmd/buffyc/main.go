@@ -21,6 +21,7 @@ import (
 	"buffy/internal/backend/smtbe"
 	"buffy/internal/core"
 	"buffy/internal/lang/ast"
+	"buffy/internal/portfolio"
 	"buffy/internal/workload"
 )
 
@@ -51,6 +52,7 @@ func main() {
 	cap := flag.Int("cap", 0, "buffer capacity (default 8)")
 	planOut := flag.String("trace-out", "", "save the discovered trace as a replayable arrival plan (JSON)")
 	stats := flag.Bool("stats", false, "print solver effort statistics (conflicts, decisions, propagations)")
+	nPortfolio := flag.Int("portfolio", 0, "race N diversified solver configs, first conclusive answer wins (verify/witness; 0 = single solver)")
 	flag.Var(params, "param", "compile-time parameter, name=value (repeatable)")
 	flag.Parse()
 
@@ -74,10 +76,15 @@ func main() {
 	a := core.Analysis{
 		T: *T, Params: params, Model: *model, Width: *width,
 		ArrivalsPerStep: *arrivals, BufferCap: *cap,
+		Portfolio: *nPortfolio,
 	}
 
 	switch *mode {
 	case "verify":
+		if a.Portfolio > 1 {
+			runPortfolio(prog, a, false, *stats, *planOut)
+			return
+		}
 		res, err := prog.Verify(a)
 		if err != nil {
 			fatal(err)
@@ -90,6 +97,10 @@ func main() {
 			savePlan(*planOut, res.Trace)
 		}
 	case "witness":
+		if a.Portfolio > 1 {
+			runPortfolio(prog, a, true, *stats, *planOut)
+			return
+		}
 		res, err := prog.FindWitness(a)
 		if err != nil {
 			fatal(err)
@@ -175,6 +186,44 @@ func missingParams(p *core.Program, have map[string]int64) []string {
 		}
 	}
 	return out
+}
+
+// runPortfolio races -portfolio diversified solver configurations on a
+// verify or witness query, reporting the winning configuration and each
+// config's search effort before rendering the winner's trace as usual.
+func runPortfolio(prog *core.Program, a core.Analysis, witness, stats bool, planOut string) {
+	var pr *portfolio.Result
+	var err error
+	if witness {
+		pr, err = prog.FindWitnessPortfolio(a)
+	} else {
+		pr, err = prog.VerifyPortfolio(a)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: %v (portfolio of %d, winner %s, %.3fs wall)\n",
+		prog.Name(), pr.Status, len(pr.Runs), pr.Winner, pr.WallClock.Seconds())
+	for _, run := range pr.Runs {
+		marker := " "
+		if run.Name == pr.Winner {
+			marker = "*"
+		}
+		fmt.Printf(" %s %-14s %-8v %.3fs", marker, run.Name, run.Status, run.Duration.Seconds())
+		if stats {
+			fmt.Printf("  conflicts=%d decisions=%d restarts=%d",
+				run.Stats.Conflicts, run.Stats.Decisions, run.Stats.Restarts)
+		}
+		if run.Err != "" {
+			fmt.Printf("  error=%s", run.Err)
+		}
+		fmt.Println()
+	}
+	printStats(stats, pr.Result)
+	if pr.Trace != nil {
+		fmt.Print(pr.Trace)
+		savePlan(planOut, pr.Trace)
+	}
 }
 
 // printStats renders the solver-effort counters behind the -stats flag.

@@ -20,6 +20,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"buffy/internal/buffer"
@@ -164,6 +165,32 @@ func Check(info *typecheck.Info, opts Options) (*Result, error) {
 // the result comes back with Status Unknown alongside ctx.Err().
 func CheckContext(ctx context.Context, info *typecheck.Info, opts Options) (*Result, error) {
 	start := time.Now()
+	e, err := EncodeContext(ctx, info, opts)
+	if err != nil {
+		return nil, err
+	}
+	return e.solveOn(ctx, e.S, start)
+}
+
+// Encoded is a compiled, bit-blasted query ready to be solved — possibly
+// several times under different search heuristics. The portfolio layer
+// encodes once and forks the solver per configuration, so the heavy
+// compile+bitblast phase is paid once per race rather than once per
+// config.
+type Encoded struct {
+	Mode Mode
+	C    *ir.Compiled
+	// S is the solver holding the encoding. Solve it at most once (or use
+	// SolveContext, which forks and leaves it untouched).
+	S *solver.Solver
+	// mu serializes model snapshots and trace extraction: forks share the
+	// parent's term builder, which trace decoding appends to.
+	mu sync.Mutex
+}
+
+// EncodeContext compiles the program and asserts the query constraints,
+// stopping just before the solve.
+func EncodeContext(ctx context.Context, info *typecheck.Info, opts Options) (*Encoded, error) {
 	s := solver.New(opts.Solver)
 	c, err := ir.CompileContext(ctx, info, s.Builder(), opts.IR)
 	if err != nil {
@@ -183,7 +210,6 @@ func CheckContext(ctx context.Context, info *typecheck.Info, opts Options) (*Res
 	if opts.ExtraAssume != nil {
 		opts.ExtraAssume(c, s)
 	}
-	res := &Result{Mode: opts.Mode, Compiled: c, Solver: s}
 	switch opts.Mode {
 	case Verify:
 		s.Assert(c.Violation())
@@ -191,25 +217,46 @@ func CheckContext(ctx context.Context, info *typecheck.Info, opts Options) (*Res
 		s.Assert(c.AssertHolds())
 		s.Assert(c.AssertReached())
 	}
-	outcome := s.CheckContext(ctx)
+	return &Encoded{Mode: opts.Mode, C: c, S: s}, nil
+}
+
+// SolveContext searches the encoded query under the given CDCL heuristics
+// on a fork of the encoding solver, leaving the encoding reusable for
+// further solves. SolveContext is safe to call from concurrent goroutines;
+// the searches race freely and only model decoding serializes.
+func (e *Encoded) SolveContext(ctx context.Context, search sat.Options) (*Result, error) {
+	start := time.Now()
+	return e.solveOn(ctx, e.S.Fork(search), start)
+}
+
+// solveOn runs the search on s (the encoding solver itself or a fork) and
+// interprets the outcome. Duration counts from start, so callers fold the
+// encode time into the first result they produce.
+func (e *Encoded) solveOn(ctx context.Context, s *solver.Solver, start time.Time) (*Result, error) {
+	res := &Result{Mode: e.Mode, Compiled: e.C, Solver: s}
+	outcome := s.CheckContextNoModel(ctx)
 	res.SatStats = s.Stats()
 	res.NumClauses = s.NumClauses()
 	res.NumVars = s.NumVars()
-	res.Duration = time.Since(start)
 	switch {
 	case outcome == solver.Unknown:
 		res.Status = Unknown
-	case outcome == solver.Sat && opts.Mode == Verify:
+	case outcome == solver.Sat && e.Mode == Verify:
 		res.Status = CounterexampleFound
-		res.Trace = ExtractTrace(c, s)
-	case outcome == solver.Unsat && opts.Mode == Verify:
+	case outcome == solver.Unsat && e.Mode == Verify:
 		res.Status = Holds
-	case outcome == solver.Sat && opts.Mode == Witness:
+	case outcome == solver.Sat && e.Mode == Witness:
 		res.Status = WitnessFound
-		res.Trace = ExtractTrace(c, s)
 	default:
 		res.Status = NoWitness
 	}
+	if outcome == solver.Sat {
+		e.mu.Lock()
+		s.SnapshotModel()
+		res.Trace = ExtractTrace(e.C, s)
+		e.mu.Unlock()
+	}
+	res.Duration = time.Since(start)
 	if res.Status == Unknown && ctx.Err() != nil {
 		return res, ctx.Err()
 	}

@@ -6,6 +6,7 @@
 //
 //	prog, _ := core.Parse(src)
 //	res, _  := prog.FindWitness(core.Analysis{T: 6, Params: ...})
+//	pr, _   := prog.VerifyPortfolio(core.Analysis{T: 6, Portfolio: 4}) // race solver configs
 //	wl, _   := prog.SynthesizeWorkload(...)   // FPerf-style back-end
 //	dfy, _  := prog.GenerateDafny(...)        // Dafny back-end (source)
 //	ver, _  := prog.VerifyDafny(...)          // Dafny-style mini-verifier
@@ -25,6 +26,8 @@ import (
 	"buffy/internal/ir"
 	"buffy/internal/lang/parser"
 	"buffy/internal/lang/typecheck"
+	"buffy/internal/portfolio"
+	"buffy/internal/smt/sat"
 	"buffy/internal/smt/smtlib"
 	"buffy/internal/smt/solver"
 	"buffy/internal/synth"
@@ -95,6 +98,15 @@ type Analysis struct {
 	// MaxConflicts / Timeout bound each solver call.
 	MaxConflicts int64
 	Timeout      time.Duration
+	// Search configures the CDCL search heuristics (restart schedule,
+	// VSIDS decay, polarity, random branching). The zero value is the
+	// classic configuration. Portfolio runs override it per config.
+	Search sat.Options
+	// Portfolio races this many diversified solver configurations per
+	// verify/witness query, taking the first conclusive answer (see
+	// VerifyPortfolio / FindWitnessPortfolio). 0 or 1 means a single
+	// solver; plain Verify/FindWitness ignore the field.
+	Portfolio int
 	// K is the induction depth for ProveForAllHorizons (default 1).
 	K int
 }
@@ -118,7 +130,7 @@ func (a Analysis) irOptions() (ir.Options, error) {
 }
 
 func (a Analysis) solverOptions() solver.Options {
-	return solver.Options{Width: a.Width, MaxConflicts: a.MaxConflicts, Timeout: a.Timeout}
+	return solver.Options{Width: a.Width, MaxConflicts: a.MaxConflicts, Timeout: a.Timeout, Search: a.Search}
 }
 
 // Verify checks that every assert holds on all executions within the
@@ -151,6 +163,41 @@ func (p *Program) FindWitnessContext(ctx context.Context, a Analysis) (*smtbe.Re
 		return nil, err
 	}
 	return smtbe.CheckContext(ctx, p.Info, smtbe.Options{IR: iro, Solver: a.solverOptions(), Mode: smtbe.Witness})
+}
+
+// VerifyPortfolio is Verify through the portfolio layer: a.Portfolio
+// diversified solver configurations race on the query and the first
+// conclusive answer wins, with the losers cancelled cooperatively. The
+// result carries the winning config's name and every config's effort.
+func (p *Program) VerifyPortfolio(a Analysis) (*portfolio.Result, error) {
+	return p.VerifyPortfolioContext(context.Background(), a)
+}
+
+// VerifyPortfolioContext is VerifyPortfolio with cooperative cancellation.
+func (p *Program) VerifyPortfolioContext(ctx context.Context, a Analysis) (*portfolio.Result, error) {
+	return p.portfolioCheck(ctx, a, smtbe.Verify)
+}
+
+// FindWitnessPortfolio is FindWitness through the portfolio layer.
+func (p *Program) FindWitnessPortfolio(a Analysis) (*portfolio.Result, error) {
+	return p.FindWitnessPortfolioContext(context.Background(), a)
+}
+
+// FindWitnessPortfolioContext is FindWitnessPortfolio with cooperative
+// cancellation.
+func (p *Program) FindWitnessPortfolioContext(ctx context.Context, a Analysis) (*portfolio.Result, error) {
+	return p.portfolioCheck(ctx, a, smtbe.Witness)
+}
+
+func (p *Program) portfolioCheck(ctx context.Context, a Analysis, mode smtbe.Mode) (*portfolio.Result, error) {
+	iro, err := a.irOptions()
+	if err != nil {
+		return nil, err
+	}
+	return portfolio.CheckContext(ctx, p.Info, portfolio.Options{
+		N:    a.Portfolio,
+		Base: smtbe.Options{IR: iro, Solver: a.solverOptions(), Mode: mode},
+	})
 }
 
 // SynthesizeWorkload runs the FPerf-style back-end: find input-traffic

@@ -1,0 +1,80 @@
+package portfolio
+
+import (
+	"fmt"
+
+	"buffy/internal/smt/sat"
+)
+
+// Config is one named solver configuration in a portfolio: a full set of
+// CDCL search heuristics. Diversity across configs — restart schedules,
+// decay rates, polarities, branching seeds — is what makes racing them
+// pay off: solve latency under a single heuristic is high-variance, and
+// the portfolio's latency is the minimum across the set.
+type Config struct {
+	Name   string
+	Search sat.Options
+}
+
+// DefaultSize is the portfolio width used when callers ask for "a
+// portfolio" without sizing it.
+const DefaultSize = 4
+
+// builtinConfigs is the hand-diversified head of the config sequence,
+// ordered so that a prefix of any length is still a diverse set: classic
+// first (the previously hardcoded heuristics), then a different restart
+// family with fast decay (empirically the strongest complement to classic
+// on the BMC corpus — small portfolios lead with the best-measured pair),
+// then opposite polarity, then randomized branching, and so on.
+func builtinConfigs() []Config {
+	return []Config{
+		{Name: "luby-classic", Search: sat.Options{}},
+		{Name: "geom-agile", Search: sat.Options{GeomRestarts: true, RestartBase: 50, RestartGrowth: 1.3, VarDecay: 0.90}},
+		{Name: "luby-pos-slow", Search: sat.Options{InitPhase: true, VarDecay: 0.99, RestartBase: 400}},
+		{Name: "rand-luby", Search: sat.Options{RandSeed: 0x9E3779B97F4A7C15, RandFreq: 0.05, RestartBase: 200}},
+		{Name: "luby-focused", Search: sat.Options{RestartBase: 60, VarDecay: 0.85}},
+		{Name: "geom-tiny-db", Search: sat.Options{GeomRestarts: true, RestartGrowth: 1.5, LearntFrac: 0.1, LearntBase: 300}},
+		{Name: "rand-geom-pos", Search: sat.Options{RandSeed: 0xD1B54A32D192ED03, RandFreq: 0.1, InitPhase: true, GeomRestarts: true, RestartBase: 30, RestartGrowth: 1.2}},
+		{Name: "luby-patient", Search: sat.Options{RestartBase: 1000, VarDecay: 0.99, ClauseDecay: 0.9995}},
+	}
+}
+
+// DefaultConfigs returns the built-in diversified portfolio of size n
+// (n <= 0 yields DefaultSize). The first len(builtinConfigs()) entries
+// are hand-picked; beyond them the set is extended with reseeded
+// random-branching variants, so any n is supported.
+func DefaultConfigs(n int) []Config {
+	if n <= 0 {
+		n = DefaultSize
+	}
+	base := builtinConfigs()
+	out := make([]Config, 0, n)
+	for i := 0; i < n; i++ {
+		if i < len(base) {
+			out = append(out, base[i])
+			continue
+		}
+		out = append(out, Config{
+			Name: fmt.Sprintf("rand-seed-%d", i),
+			Search: sat.Options{
+				RandSeed:  splitmix64(uint64(i)),
+				RandFreq:  0.07,
+				InitPhase: i%2 == 1,
+			},
+		})
+	}
+	return out
+}
+
+// splitmix64 whitens an index into a branching seed (never returns 0,
+// which would disable random branching).
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	x ^= x >> 31
+	if x == 0 {
+		x = 1
+	}
+	return x
+}

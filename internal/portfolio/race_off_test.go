@@ -1,0 +1,6 @@
+//go:build !race
+
+package portfolio
+
+// raceEnabled mirrors race_on_test.go; see the comment there.
+const raceEnabled = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package portfolio
+
+// raceEnabled trims the heavyweight differential corpus when the race
+// detector multiplies solver time ~15x: the race step hunts data races in
+// the fork/cancel machinery, not heuristic bugs, so a smaller corpus
+// keeps CI inside its budget without losing that coverage.
+const raceEnabled = true

@@ -376,6 +376,9 @@ func (e *Engine) runJob(job *Job) {
 	case err == nil:
 		e.met.completed.Add(1)
 		e.met.recordSolve(elapsed, res.SatStats)
+		if res.PortfolioSize > 1 {
+			e.met.recordPortfolio(res.PortfolioWinner, elapsed)
+		}
 		if res.conclusive() {
 			e.cache.put(job.Req.CacheKey(), res)
 		}
@@ -413,12 +416,26 @@ func runAnalysis(ctx context.Context, req *Request) (*Result, error) {
 	a := req.analysis()
 	switch req.Kind {
 	case KindVerify:
+		if req.Portfolio > 1 {
+			pr, err := prog.VerifyPortfolioContext(ctx, a)
+			if err != nil {
+				return nil, err
+			}
+			return resultFromPortfolio(KindVerify, req.Portfolio, pr), nil
+		}
 		r, err := prog.VerifyContext(ctx, a)
 		if err != nil {
 			return nil, err
 		}
 		return resultFromCheck(KindVerify, r), nil
 	case KindWitness:
+		if req.Portfolio > 1 {
+			pr, err := prog.FindWitnessPortfolioContext(ctx, a)
+			if err != nil {
+				return nil, err
+			}
+			return resultFromPortfolio(KindWitness, req.Portfolio, pr), nil
+		}
 		r, err := prog.FindWitnessContext(ctx, a)
 		if err != nil {
 			return nil, err

@@ -417,6 +417,16 @@ func TestCacheKeyDiscriminates(t *testing.T) {
 		{Kind: KindWitness, Source: base.Source, T: 6, Params: base.Params, Model: "count"},
 		{Kind: KindWitness, Source: base.Source, T: 6, Params: base.Params, Width: 14},
 		{Kind: KindWitness, Source: base.Source, T: 6, Params: base.Params, MaxConflicts: 10},
+		// Search heuristics and portfolio size change which result object
+		// (trace, effort counters, winner) comes back, so they must never
+		// alias to one cached result (satellite: cache-key correctness).
+		{Kind: KindWitness, Source: base.Source, T: 6, Params: base.Params, Portfolio: 4},
+		{Kind: KindWitness, Source: base.Source, T: 6, Params: base.Params, RestartBase: 50},
+		{Kind: KindWitness, Source: base.Source, T: 6, Params: base.Params, GeomRestarts: true},
+		{Kind: KindWitness, Source: base.Source, T: 6, Params: base.Params, VarDecay: 0.9},
+		{Kind: KindWitness, Source: base.Source, T: 6, Params: base.Params, InitPhase: true},
+		{Kind: KindWitness, Source: base.Source, T: 6, Params: base.Params, RandSeed: 7},
+		{Kind: KindWitness, Source: base.Source, T: 6, Params: base.Params, RandSeed: 7, RandFreq: 0.05},
 	}
 	for i, req := range vary {
 		if req.CacheKey() == base.CacheKey() {

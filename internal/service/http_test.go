@@ -375,3 +375,56 @@ func postJSONNoFatal(url string, body any) (*http.Response, []byte) {
 	out, _ := io.ReadAll(resp.Body)
 	return resp, out
 }
+
+// TestHTTPPortfolioMetrics drives a portfolio request end to end and
+// asserts the per-config win counter and race histogram show up in both
+// Prometheus and JSON metric expositions (satellite: portfolio telemetry).
+func TestHTTPPortfolioMetrics(t *testing.T) {
+	_, srv := newTestServer(t, Config{Workers: 2})
+	req := map[string]any{
+		"source": qm.FQBuggyQuerySrc, "t": 5,
+		"params": map[string]int64{"N": 3}, "portfolio": 4,
+	}
+
+	resp, body := postJSON(t, srv.URL+"/v1/witness", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST: %d: %s", resp.StatusCode, body)
+	}
+	var v JobView
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.State != StateDone || v.Result == nil || v.Result.Status != "witness" {
+		t.Fatalf("response: %s", body)
+	}
+	if v.Result.PortfolioSize != 4 || v.Result.PortfolioWinner == "" {
+		t.Errorf("portfolio fields missing from result: %s", body)
+	}
+
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	prom, _ := io.ReadAll(mresp.Body)
+	want := fmt.Sprintf("buffy_portfolio_wins_total{config=%q} 1", v.Result.PortfolioWinner)
+	if !strings.Contains(string(prom), want) {
+		t.Errorf("metrics missing %s:\n%s", want, prom)
+	}
+	if !strings.Contains(string(prom), "buffy_portfolio_duration_seconds_count 1") {
+		t.Errorf("metrics missing portfolio race histogram:\n%s", prom)
+	}
+
+	jresp, err := http.Get(srv.URL + "/metrics?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jresp.Body.Close()
+	var snap Snapshot
+	if err := json.NewDecoder(jresp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.PortfolioCount != 1 || snap.PortfolioWins[v.Result.PortfolioWinner] != 1 {
+		t.Errorf("snapshot portfolio telemetry: %+v", snap)
+	}
+}

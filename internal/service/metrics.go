@@ -44,10 +44,22 @@ type metrics struct {
 	latCount    int64
 	latSumNanos int64
 	latBuckets  []int64 // cumulative counts per latencyBuckets bound
+
+	// Portfolio telemetry: which config won each race, and the race's
+	// end-to-end wall clock (same bounds as the solve histogram).
+	portMu       sync.Mutex
+	portWins     map[string]int64
+	portCount    int64
+	portSumNanos int64
+	portBuckets  []int64
 }
 
 func newMetrics() *metrics {
-	return &metrics{latBuckets: make([]int64, len(latencyBuckets))}
+	return &metrics{
+		latBuckets:  make([]int64, len(latencyBuckets)),
+		portWins:    make(map[string]int64),
+		portBuckets: make([]int64, len(latencyBuckets)),
+	}
 }
 
 func (m *metrics) recordSubmit(kind Kind) {
@@ -79,6 +91,25 @@ func (m *metrics) recordSolve(d time.Duration, stats sat.Stats) {
 	m.latMu.Unlock()
 }
 
+// recordPortfolio tallies a finished portfolio race: the winning config
+// ("" when no config concluded) and the race's wall clock.
+func (m *metrics) recordPortfolio(winner string, d time.Duration) {
+	if winner == "" {
+		winner = "none"
+	}
+	secs := d.Seconds()
+	m.portMu.Lock()
+	m.portWins[winner]++
+	m.portCount++
+	m.portSumNanos += d.Nanoseconds()
+	for i, bound := range latencyBuckets {
+		if secs <= bound {
+			m.portBuckets[i]++
+		}
+	}
+	m.portMu.Unlock()
+}
+
 // Snapshot is a point-in-time copy of all service metrics, JSON-friendly.
 type Snapshot struct {
 	JobsSubmitted map[string]int64 `json:"jobs_submitted"`
@@ -104,6 +135,11 @@ type Snapshot struct {
 	SolveCount      int64            `json:"solve_count"`
 	SolveSecondsSum float64          `json:"solve_seconds_sum"`
 	SolveBuckets    map[string]int64 `json:"solve_latency_buckets"`
+
+	PortfolioWins       map[string]int64 `json:"portfolio_wins"`
+	PortfolioCount      int64            `json:"portfolio_count"`
+	PortfolioSecondsSum float64          `json:"portfolio_seconds_sum"`
+	PortfolioBuckets    map[string]int64 `json:"portfolio_latency_buckets"`
 }
 
 func (m *metrics) snapshot(queueDepth, workers, cacheEntries int) Snapshot {
@@ -143,6 +179,18 @@ func (m *metrics) snapshot(queueDepth, workers, cacheEntries int) Snapshot {
 		s.SolveBuckets[fmt.Sprintf("le_%g", bound)] = m.latBuckets[i]
 	}
 	m.latMu.Unlock()
+	s.PortfolioWins = make(map[string]int64)
+	s.PortfolioBuckets = make(map[string]int64, len(latencyBuckets))
+	m.portMu.Lock()
+	for cfg, n := range m.portWins {
+		s.PortfolioWins[cfg] = n
+	}
+	s.PortfolioCount = m.portCount
+	s.PortfolioSecondsSum = float64(m.portSumNanos) / 1e9
+	for i, bound := range latencyBuckets {
+		s.PortfolioBuckets[fmt.Sprintf("le_%g", bound)] = m.portBuckets[i]
+	}
+	m.portMu.Unlock()
 	return s
 }
 
@@ -192,4 +240,22 @@ func (s Snapshot) WritePrometheus(w io.Writer) {
 	fmt.Fprintf(w, "buffy_solve_duration_seconds_bucket{le=\"+Inf\"} %d\n", s.SolveCount)
 	fmt.Fprintf(w, "buffy_solve_duration_seconds_sum %g\n", s.SolveSecondsSum)
 	fmt.Fprintf(w, "buffy_solve_duration_seconds_count %d\n", s.SolveCount)
+
+	fmt.Fprintf(w, "# HELP buffy_portfolio_wins_total Portfolio races won, by solver configuration.\n# TYPE buffy_portfolio_wins_total counter\n")
+	cfgs := make([]string, 0, len(s.PortfolioWins))
+	for cfg := range s.PortfolioWins {
+		cfgs = append(cfgs, cfg)
+	}
+	sort.Strings(cfgs)
+	for _, cfg := range cfgs {
+		fmt.Fprintf(w, "buffy_portfolio_wins_total{config=%q} %d\n", cfg, s.PortfolioWins[cfg])
+	}
+	fmt.Fprintf(w, "# HELP buffy_portfolio_duration_seconds Portfolio race wall time (first conclusive answer).\n# TYPE buffy_portfolio_duration_seconds histogram\n")
+	for _, bound := range latencyBuckets {
+		fmt.Fprintf(w, "buffy_portfolio_duration_seconds_bucket{le=%q} %d\n",
+			fmt.Sprintf("%g", bound), s.PortfolioBuckets[fmt.Sprintf("le_%g", bound)])
+	}
+	fmt.Fprintf(w, "buffy_portfolio_duration_seconds_bucket{le=\"+Inf\"} %d\n", s.PortfolioCount)
+	fmt.Fprintf(w, "buffy_portfolio_duration_seconds_sum %g\n", s.PortfolioSecondsSum)
+	fmt.Fprintf(w, "buffy_portfolio_duration_seconds_count %d\n", s.PortfolioCount)
 }

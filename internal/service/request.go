@@ -16,12 +16,14 @@ import (
 	"encoding/binary"
 	"encoding/hex"
 	"fmt"
+	"math"
 	"sort"
 	"time"
 
 	"buffy/internal/backend/fperf"
 	"buffy/internal/backend/smtbe"
 	"buffy/internal/core"
+	"buffy/internal/portfolio"
 	"buffy/internal/smt/bitblast"
 	"buffy/internal/smt/sat"
 )
@@ -67,7 +69,27 @@ type Request struct {
 	// TimeoutMS bounds the whole job's wall time; 0 uses the engine's
 	// default. The deadline aborts the in-flight CDCL search cooperatively.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Portfolio races this many diversified solver configurations on a
+	// verify/witness query and returns the first conclusive answer,
+	// cancelling the losers (0 or 1 = single solver). Capped at
+	// MaxPortfolio; ignored for synthesize jobs.
+	Portfolio int `json:"portfolio,omitempty"`
+	// Search heuristics for single-config solves (portfolio runs use the
+	// built-in diversified set instead). Zero values are the defaults;
+	// every knob participates in the cache key — two requests with
+	// different search options never alias to one cached result.
+	RestartBase  int64   `json:"restart_base,omitempty"`
+	GeomRestarts bool    `json:"geom_restarts,omitempty"`
+	VarDecay     float64 `json:"var_decay,omitempty"`
+	InitPhase    bool    `json:"init_phase,omitempty"`
+	RandSeed     uint64  `json:"rand_seed,omitempty"`
+	RandFreq     float64 `json:"rand_freq,omitempty"`
 }
+
+// MaxPortfolio bounds how many solver configurations one request may
+// race: each costs a goroutine, a full encoding and a CDCL search, so an
+// unchecked value would let a single request monopolize the machine.
+const MaxPortfolio = 16
 
 // MaxHorizon bounds accepted time horizons: the encoding grows with T and
 // a service must not let one request monopolize the pool indefinitely.
@@ -105,7 +127,31 @@ func (r *Request) Validate() error {
 	if r.TimeoutMS < 0 {
 		return fmt.Errorf("service: negative timeout_ms")
 	}
+	if r.Portfolio < 0 || r.Portfolio > MaxPortfolio {
+		return fmt.Errorf("service: portfolio %d out of range [0, %d]", r.Portfolio, MaxPortfolio)
+	}
+	if r.RestartBase < 0 {
+		return fmt.Errorf("service: negative restart_base")
+	}
+	if r.VarDecay < 0 || r.VarDecay > 1 {
+		return fmt.Errorf("service: var_decay %g out of range [0, 1]", r.VarDecay)
+	}
+	if r.RandFreq < 0 || r.RandFreq > 1 {
+		return fmt.Errorf("service: rand_freq %g out of range [0, 1]", r.RandFreq)
+	}
 	return nil
+}
+
+// searchOptions maps the request's heuristic knobs to sat.Options.
+func (r *Request) searchOptions() sat.Options {
+	return sat.Options{
+		RestartBase:  r.RestartBase,
+		GeomRestarts: r.GeomRestarts,
+		VarDecay:     r.VarDecay,
+		InitPhase:    r.InitPhase,
+		RandSeed:     r.RandSeed,
+		RandFreq:     r.RandFreq,
+	}
 }
 
 func (r *Request) analysis() core.Analysis {
@@ -126,14 +172,20 @@ func (r *Request) analysis() core.Analysis {
 		ListCap:         r.ListCap,
 		MaxConflicts:    r.MaxConflicts,
 		Timeout:         time.Duration(r.TimeoutMS) * time.Millisecond,
+		Search:          r.searchOptions(),
+		Portfolio:       r.Portfolio,
 	}
 }
 
 // CacheKey returns the content address of the request: a hash over the
 // program source, buffer model, horizon, query kind, compile-time
-// parameters and solver options. Two requests with equal keys are
-// guaranteed to produce the same analysis answer, so the engine serves
-// repeats straight from cache without re-solving.
+// parameters, solver options and search heuristics. Two requests with
+// equal keys are guaranteed to produce the same analysis answer, so the
+// engine serves repeats straight from cache without re-solving. The
+// heuristic knobs and portfolio size cannot change a *correct* answer,
+// but they do change which result object (trace, effort counters,
+// winning config) comes back — so they participate in the key and
+// differently-configured requests never alias.
 func (r *Request) CacheKey() string {
 	h := sha256.New()
 	writeField := func(s string) {
@@ -147,6 +199,19 @@ func (r *Request) CacheKey() string {
 		binary.LittleEndian.PutUint64(n[:], uint64(v))
 		h.Write(n[:])
 	}
+	writeUint := func(v uint64) {
+		var n [8]byte
+		binary.LittleEndian.PutUint64(n[:], v)
+		h.Write(n[:])
+	}
+	writeFloat := func(v float64) { writeUint(math.Float64bits(v)) }
+	writeBool := func(v bool) {
+		if v {
+			writeInt(1)
+		} else {
+			writeInt(0)
+		}
+	}
 	writeField(string(r.Kind))
 	writeField(r.Source)
 	writeField(r.Model)
@@ -159,6 +224,13 @@ func (r *Request) CacheKey() string {
 	writeInt(int64(r.MaxBytes))
 	writeInt(int64(r.ListCap))
 	writeInt(r.MaxConflicts)
+	writeInt(int64(r.Portfolio))
+	writeInt(r.RestartBase)
+	writeBool(r.GeomRestarts)
+	writeFloat(r.VarDecay)
+	writeBool(r.InitPhase)
+	writeUint(r.RandSeed)
+	writeFloat(r.RandFreq)
 	names := make([]string, 0, len(r.Params))
 	for name := range r.Params {
 		names = append(names, name)
@@ -186,6 +258,10 @@ type Result struct {
 	NumClauses int       `json:"num_clauses,omitempty"`
 	NumVars    int       `json:"num_vars,omitempty"`
 	DurationMS int64     `json:"duration_ms"`
+	// Portfolio outcome (requests with portfolio > 1): how many configs
+	// raced and which one produced the first conclusive answer.
+	PortfolioSize   int    `json:"portfolio,omitempty"`
+	PortfolioWinner string `json:"portfolio_winner,omitempty"`
 	// CacheHit marks a response served from the result cache.
 	CacheHit bool `json:"cache_hit"`
 }
@@ -213,6 +289,22 @@ func resultFromCheck(kind Kind, r *smtbe.Result) *Result {
 		NumVars:    r.NumVars,
 		DurationMS: r.Duration.Milliseconds(),
 	}
+}
+
+// resultFromPortfolio flattens a portfolio outcome into the wire result:
+// the winner's analysis result stamped with the race's shape. DurationMS
+// is the portfolio's wall clock (what the client actually waited), not
+// the winning config's solo solve time.
+func resultFromPortfolio(kind Kind, size int, pr *portfolio.Result) *Result {
+	if pr.Result == nil {
+		return &Result{Kind: kind, Status: smtbe.Unknown.String(),
+			PortfolioSize: size, DurationMS: pr.WallClock.Milliseconds()}
+	}
+	res := resultFromCheck(kind, pr.Result)
+	res.PortfolioSize = size
+	res.PortfolioWinner = pr.Winner
+	res.DurationMS = pr.WallClock.Milliseconds()
+	return res
 }
 
 func resultFromSynth(r *fperf.Result) *Result {

@@ -12,6 +12,7 @@ package bitblast
 
 import (
 	"fmt"
+	"maps"
 
 	"buffy/internal/smt/cnf"
 	"buffy/internal/smt/sat"
@@ -73,6 +74,24 @@ func New(width int, s *sat.Solver) *Blaster {
 	bl.falseLit = cnf.NegLit(vt)
 	s.AddClause(bl.trueLit)
 	return bl
+}
+
+// Fork returns a Blaster over ns that reuses this blaster's encoding
+// work: ns must be a CloneProblem of this blaster's solver so variable
+// numbering matches, and the caches are copied so already-encoded terms
+// resolve to the same literals while anything the fork encodes afterwards
+// stays private to it. Forking is read-only on the receiver, so multiple
+// forks may be taken concurrently between encodes.
+func (bl *Blaster) Fork(ns *sat.Solver) *Blaster {
+	return &Blaster{
+		W:         bl.W,
+		s:         ns,
+		boolCache: maps.Clone(bl.boolCache),
+		bitsCache: maps.Clone(bl.bitsCache),
+		gateCache: maps.Clone(bl.gateCache),
+		trueLit:   bl.trueLit,
+		falseLit:  bl.falseLit,
+	}
 }
 
 // Assert adds clauses forcing t (a boolean term) to hold.

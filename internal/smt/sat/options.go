@@ -1,0 +1,76 @@
+package sat
+
+// Options exposes the CDCL search heuristics that were historically
+// hardcoded: the restart schedule, VSIDS decay rates, decision polarity,
+// optional randomized branching and the learnt-clause database limits.
+// The zero value reproduces the solver's classic configuration exactly,
+// so existing callers are unaffected; diversified configurations of these
+// knobs are what the portfolio layer races against each other.
+type Options struct {
+	// RestartBase is the first restart interval in conflicts (default 100).
+	RestartBase int64
+	// GeomRestarts selects a geometric restart schedule (interval grows by
+	// RestartGrowth after every restart) instead of the default Luby series.
+	GeomRestarts bool
+	// RestartGrowth is the geometric schedule's multiplier (default 1.5);
+	// ignored for Luby restarts.
+	RestartGrowth float64
+	// VarDecay is the VSIDS activity decay in (0, 1] (default 0.95).
+	// Values closer to 1 make branching favor long-term conflict history;
+	// smaller values chase recent conflicts more aggressively.
+	VarDecay float64
+	// ClauseDecay is the learnt-clause activity decay in (0, 1]
+	// (default 0.999).
+	ClauseDecay float64
+	// InitPhase is the polarity a variable is first branched to before
+	// phase saving takes over (default false, MiniSat's choice).
+	InitPhase bool
+	// RandSeed seeds the deterministic xorshift generator behind random
+	// branching. Zero disables randomness entirely (RandFreq is ignored),
+	// keeping the default configuration fully deterministic.
+	RandSeed uint64
+	// RandFreq is the fraction of decisions taken on a random unassigned
+	// variable instead of the VSIDS maximum, in [0, 1]. Requires RandSeed.
+	RandFreq float64
+	// LearntFrac sizes the initial learnt-DB limit as a fraction of the
+	// problem clause count (default 1/3).
+	LearntFrac float64
+	// LearntBase is the additive floor of the learnt-DB limit
+	// (default 1000).
+	LearntBase int64
+	// LearntGrowth multiplies the learnt-DB limit after each reduction
+	// (default 1.1).
+	LearntGrowth float64
+}
+
+// withDefaults normalizes zero/out-of-range knobs to the classic values.
+func (o Options) withDefaults() Options {
+	if o.RestartBase <= 0 {
+		o.RestartBase = 100
+	}
+	if o.RestartGrowth <= 1 {
+		o.RestartGrowth = 1.5
+	}
+	if o.VarDecay <= 0 || o.VarDecay > 1 {
+		o.VarDecay = 0.95
+	}
+	if o.ClauseDecay <= 0 || o.ClauseDecay > 1 {
+		o.ClauseDecay = 0.999
+	}
+	if o.RandSeed == 0 || o.RandFreq < 0 {
+		o.RandFreq = 0
+	}
+	if o.RandFreq > 1 {
+		o.RandFreq = 1
+	}
+	if o.LearntFrac <= 0 {
+		o.LearntFrac = 1.0 / 3
+	}
+	if o.LearntBase <= 0 {
+		o.LearntBase = 1000
+	}
+	if o.LearntGrowth <= 1 {
+		o.LearntGrowth = 1.1
+	}
+	return o
+}

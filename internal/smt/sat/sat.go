@@ -4,6 +4,13 @@
 // and LBD-based learnt-clause reduction. It is the decision procedure at the
 // bottom of Buffy's solver stack; the bit-blasting layer reduces bounded
 // integer formulas to the CNF this package solves.
+//
+// The search heuristics — restart schedule, VSIDS decay, decision
+// polarity, randomized branching, learnt-DB limits — are configurable
+// through Options (see NewWithOptions); the zero value reproduces the
+// classic configuration. Diversifying these knobs is the basis of the
+// portfolio layer, which races configurations and takes the first
+// conclusive answer.
 package sat
 
 import (
@@ -121,6 +128,9 @@ type Solver struct {
 	numVars int
 	ok      bool // false once a top-level conflict is found
 
+	opts     Options
+	rndState uint64 // xorshift state for random branching (0 = disabled)
+
 	stats Stats
 
 	// debug enables expensive internal invariant checking after every
@@ -134,12 +144,23 @@ type Solver struct {
 	claInc float32
 }
 
-// New returns an empty solver.
+// New returns an empty solver with the classic heuristic configuration.
 func New() *Solver {
-	s := &Solver{ok: true, varInc: 1.0, claInc: 1.0}
+	return NewWithOptions(Options{})
+}
+
+// NewWithOptions returns an empty solver using the given search
+// heuristics. Zero-valued knobs fall back to the classic defaults, so
+// NewWithOptions(Options{}) is identical to New.
+func NewWithOptions(opts Options) *Solver {
+	s := &Solver{ok: true, varInc: 1.0, claInc: 1.0, opts: opts.withDefaults()}
+	s.rndState = s.opts.RandSeed
 	s.ensureVar(0)
 	return s
 }
+
+// Options returns the solver's (normalized) heuristic configuration.
+func (s *Solver) Options() Options { return s.opts }
 
 // NewVar allocates a fresh variable.
 func (s *Solver) NewVar() cnf.Var {
@@ -155,7 +176,7 @@ func (s *Solver) ensureVar(v cnf.Var) {
 		s.assign = append(s.assign, lUndef)
 		s.level = append(s.level, 0)
 		s.reason = append(s.reason, nil)
-		s.phase = append(s.phase, false)
+		s.phase = append(s.phase, s.opts.InitPhase)
 		s.activity = append(s.activity, 0)
 		s.heapPos = append(s.heapPos, -1)
 		s.seen = append(s.seen, false)
@@ -170,6 +191,37 @@ func (s *Solver) ImportVars(n int) {
 	for s.numVars < n {
 		s.NewVar()
 	}
+}
+
+// CloneProblem returns a fresh solver over this solver's problem clauses
+// and top-level facts, searching under opts. Learnt clauses, saved phases,
+// activities and statistics do not transfer: the clone explores the same
+// problem from scratch, which is exactly what a portfolio race wants —
+// same question, independent search trajectory. The receiver is only
+// read, so concurrent clones are safe while no solve is running on it;
+// only the level-0 prefix of the trail transfers.
+func (s *Solver) CloneProblem(opts Options) *Solver {
+	n := NewWithOptions(opts)
+	n.ImportVars(s.numVars)
+	if !s.ok {
+		n.ok = false
+		return n
+	}
+	lvl0 := s.trail
+	if len(s.trailLim) > 0 {
+		lvl0 = s.trail[:s.trailLim[0]]
+	}
+	for _, l := range lvl0 {
+		if !n.AddClause(l) {
+			return n
+		}
+	}
+	for _, c := range s.clauses {
+		if !n.AddClause(c.lits...) {
+			return n
+		}
+	}
+	return n
 }
 
 // LoadFormula imports all clauses of f.
@@ -410,7 +462,7 @@ func (s *Solver) bumpVar(v cnf.Var) {
 	}
 }
 
-func (s *Solver) decayVar() { s.varInc /= 0.95 }
+func (s *Solver) decayVar() { s.varInc /= s.opts.VarDecay }
 
 func (s *Solver) bumpClause(c *clause) {
 	c.act += s.claInc
@@ -422,7 +474,7 @@ func (s *Solver) bumpClause(c *clause) {
 	}
 }
 
-func (s *Solver) decayClause() { s.claInc /= 0.999 }
+func (s *Solver) decayClause() { s.claInc /= float32(s.opts.ClauseDecay) }
 
 // --- conflict analysis ---
 
@@ -598,6 +650,46 @@ func luby(x int64) int64 {
 	return int64(1) << uint(seq)
 }
 
+// restartInterval yields the next restart interval in conflicts: the
+// Luby series scaled by base, or the geometric interval when configured.
+func (s *Solver) restartInterval(base, curRestart int64, geomInterval float64) int64 {
+	if s.opts.GeomRestarts {
+		iv := int64(geomInterval)
+		if iv < 1 {
+			iv = 1
+		}
+		return iv
+	}
+	return base * luby(curRestart)
+}
+
+// nextRand advances the solver's deterministic xorshift64 state.
+func (s *Solver) nextRand() uint64 {
+	x := s.rndState
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	s.rndState = x
+	return x
+}
+
+// randChance reports whether this decision should branch randomly.
+func (s *Solver) randChance() bool {
+	return float64(s.nextRand()%1024)/1024.0 < s.opts.RandFreq
+}
+
+// randomUnassigned samples the decision heap a few times for an
+// unassigned variable; 0 means none found (caller falls back to VSIDS).
+func (s *Solver) randomUnassigned() cnf.Var {
+	for try := 0; try < 8 && len(s.heap) > 0; try++ {
+		v := s.heap[s.nextRand()%uint64(len(s.heap))]
+		if s.assign[v] == lUndef {
+			return v
+		}
+	}
+	return 0
+}
+
 func (s *Solver) reduceDB() {
 	// Sort learnts: keep low-LBD and active clauses. Simple selection:
 	// remove half with highest LBD (ties by activity), never LBD<=2 or
@@ -681,11 +773,12 @@ func (s *Solver) SolveLimited(lim Limits, assumptions ...cnf.Lit) Status {
 		return Unsat
 	}
 
-	restartBase := int64(100)
+	restartBase := s.opts.RestartBase
 	conflictsAtStart := s.stats.Conflicts
 	var curRestart int64 = 0
-	nextRestart := s.stats.Conflicts + restartBase*luby(curRestart)
-	learntLimit := int64(len(s.clauses)/3 + 1000)
+	geomInterval := float64(restartBase)
+	nextRestart := s.stats.Conflicts + s.restartInterval(restartBase, curRestart, geomInterval)
+	learntLimit := int64(float64(len(s.clauses))*s.opts.LearntFrac) + s.opts.LearntBase
 	checkTick := 0
 
 	for {
@@ -747,7 +840,8 @@ func (s *Solver) SolveLimited(lim Limits, assumptions ...cnf.Lit) Status {
 		if s.stats.Conflicts >= nextRestart && s.decisionLevel() > len(assumptions) {
 			s.stats.Restarts++
 			curRestart++
-			nextRestart = s.stats.Conflicts + restartBase*luby(curRestart)
+			geomInterval *= s.opts.RestartGrowth
+			nextRestart = s.stats.Conflicts + s.restartInterval(restartBase, curRestart, geomInterval)
 			s.backtrackTo(len(assumptions))
 		}
 
@@ -756,7 +850,7 @@ func (s *Solver) SolveLimited(lim Limits, assumptions ...cnf.Lit) Status {
 		if int64(len(s.learnts)) > learntLimit {
 			s.backtrackTo(0)
 			s.reduceDB()
-			learntLimit += learntLimit / 10
+			learntLimit = int64(float64(learntLimit) * s.opts.LearntGrowth)
 		}
 
 		// Pick the next decision: assumptions first.
@@ -775,11 +869,18 @@ func (s *Solver) SolveLimited(lim Limits, assumptions ...cnf.Lit) Status {
 			break
 		}
 		if next == cnf.LitUndef {
-			for len(s.heap) > 0 {
-				v := s.heapPop()
-				if s.assign[v] == lUndef {
+			if s.opts.RandFreq > 0 && s.randChance() {
+				if v := s.randomUnassigned(); v != 0 {
 					next = cnf.MkLit(v, !s.phase[v])
-					break
+				}
+			}
+			if next == cnf.LitUndef {
+				for len(s.heap) > 0 {
+					v := s.heapPop()
+					if s.assign[v] == lUndef {
+						next = cnf.MkLit(v, !s.phase[v])
+						break
+					}
 				}
 			}
 			if next == cnf.LitUndef {

@@ -49,6 +49,11 @@ type Options struct {
 	MaxConflicts int64
 	// Timeout bounds each Check's wall time; zero means unlimited.
 	Timeout time.Duration
+	// Search configures the CDCL heuristics (restart schedule, VSIDS
+	// decay, polarity, random branching, learnt-DB limits). The zero
+	// value is the classic configuration; the portfolio layer races
+	// diversified Search settings against each other.
+	Search sat.Options
 }
 
 // Solver is an incremental SMT solver over booleans and bounded integers.
@@ -74,7 +79,7 @@ func New(opts Options) *Solver {
 		opts.Width = bitblast.DefaultWidth
 	}
 	s := &Solver{b: term.NewBuilder(), opts: opts}
-	s.sat = sat.New()
+	s.sat = sat.NewWithOptions(opts.Search)
 	s.bl = bitblast.New(opts.Width, s.sat)
 	return s
 }
@@ -82,6 +87,24 @@ func New(opts Options) *Solver {
 // Builder returns the solver's term builder. All terms asserted must come
 // from this builder.
 func (s *Solver) Builder() *term.Builder { return s.b }
+
+// Fork returns a solver over the same asserted problem searching under
+// different CDCL heuristics: the CNF is cloned (problem clauses and
+// top-level facts, not learnt clauses) and the bit-blasting caches are
+// copied, so the expensive encoding is shared rather than redone. Forks
+// exist for portfolio racing — they may Check and read models, but must
+// not Assert, and forking is only safe while neither the parent nor any
+// fork is mid-Check. Because forks share the parent's term builder,
+// concurrent forks must serialize SnapshotModel and model reads (see
+// CheckContextNoModel).
+func (s *Solver) Fork(search sat.Options) *Solver {
+	opts := s.opts
+	opts.Search = search
+	f := &Solver{b: s.b, opts: opts, asserted: s.asserted, unsat: s.unsat}
+	f.sat = s.sat.CloneProblem(search)
+	f.bl = s.bl.Fork(f.sat)
+	return f
+}
 
 // Width returns the integer bit width.
 func (s *Solver) Width() int { return s.opts.Width }
@@ -117,8 +140,27 @@ func (s *Solver) CheckContext(ctx context.Context) Result {
 	return s.CheckAssumingContext(ctx)
 }
 
+// CheckContextNoModel is CheckContext without the automatic model
+// snapshot after a Sat result: the caller invokes SnapshotModel itself
+// before reading values. Portfolio forks need this split because they
+// share one term builder — the search phases run concurrently, but the
+// snapshot (which walks the shared builder's variables) must be
+// serialized by the caller.
+func (s *Solver) CheckContextNoModel(ctx context.Context) Result {
+	return s.checkAssuming(ctx, false)
+}
+
+// SnapshotModel publishes the model of the last Sat result for Value
+// reads. Check and CheckAssuming call it automatically; it is exported
+// for CheckContextNoModel callers, which defer it.
+func (s *Solver) SnapshotModel() { s.snapshotModel() }
+
 // CheckAssumingContext is CheckAssuming with cooperative cancellation.
 func (s *Solver) CheckAssumingContext(ctx context.Context, assumptions ...*term.Term) Result {
+	return s.checkAssuming(ctx, true, assumptions...)
+}
+
+func (s *Solver) checkAssuming(ctx context.Context, snapshot bool, assumptions ...*term.Term) Result {
 	if s.unsat {
 		return Unsat
 	}
@@ -141,7 +183,9 @@ func (s *Solver) CheckAssumingContext(ctx context.Context, assumptions ...*term.
 	}
 	switch s.sat.SolveLimited(lim, lits...) {
 	case sat.Sat:
-		s.snapshotModel()
+		if snapshot {
+			s.snapshotModel()
+		}
 		return Sat
 	case sat.Unsat:
 		return Unsat

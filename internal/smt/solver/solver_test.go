@@ -1,9 +1,11 @@
 package solver
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
+	"buffy/internal/smt/sat"
 	"buffy/internal/smt/term"
 )
 
@@ -310,5 +312,54 @@ func BenchmarkMultiplicationFactoring(b *testing.B) {
 		if s.Check() != Sat {
 			b.Fatal("expected sat")
 		}
+	}
+}
+
+// TestForkSharesEncoding pins the portfolio fork: forks decide the same
+// asserted problem under their own heuristics, read independent models,
+// and leave the parent untouched.
+func TestForkSharesEncoding(t *testing.T) {
+	s := newSolver()
+	b := s.Builder()
+	x := b.Var("x", term.Int)
+	y := b.Var("y", term.Int)
+	s.Assert(b.Eq(b.Add(x, y), b.IntConst(10)))
+	s.Assert(b.Eq(b.Sub(x, y), b.IntConst(4)))
+	// Rule out wrap-around models so x=7, y=3 is the unique solution.
+	s.Assert(b.Ge(x, b.IntConst(0)))
+	s.Assert(b.Ge(y, b.IntConst(0)))
+
+	f1 := s.Fork(sat.Options{InitPhase: true, GeomRestarts: true})
+	f2 := s.Fork(sat.Options{RandSeed: 9, RandFreq: 0.2})
+	for i, f := range []*Solver{f1, f2} {
+		if got := f.CheckContextNoModel(context.Background()); got != Sat {
+			t.Fatalf("fork %d: got %v, want sat", i, got)
+		}
+		f.SnapshotModel()
+		if xv, yv := f.IntValue(x), f.IntValue(y); xv != 7 || yv != 3 {
+			t.Errorf("fork %d: x=%d y=%d, want 7,3", i, xv, yv)
+		}
+		if f.NumClauses() == 0 {
+			t.Errorf("fork %d inherited no clauses", i)
+		}
+	}
+	// The parent still solves independently after its forks.
+	if got := s.Check(); got != Sat {
+		t.Fatalf("parent after forks: got %v, want sat", got)
+	}
+	if xv := s.IntValue(x); xv != 7 {
+		t.Errorf("parent x = %d, want 7", xv)
+	}
+}
+
+// TestForkOfUnsat pins that forks inherit top-level inconsistency.
+func TestForkOfUnsat(t *testing.T) {
+	s := newSolver()
+	b := s.Builder()
+	x := b.Var("x", term.Int)
+	s.Assert(b.Eq(x, b.IntConst(1)))
+	s.Assert(b.Eq(x, b.IntConst(2)))
+	if got := s.Fork(sat.Options{}).Check(); got != Unsat {
+		t.Fatalf("fork of unsat parent: got %v, want unsat", got)
 	}
 }
