@@ -33,6 +33,8 @@ func main() {
 	cacheN := flag.Int("cache", 256, "result cache entries (0 default, <0 disables)")
 	timeout := flag.Duration("timeout", 60*time.Second, "default per-job deadline")
 	drain := flag.Duration("drain", 30*time.Second, "graceful drain budget on shutdown")
+	retries := flag.Int("retries", 1, "max retries for transient failures (budget exhaustion, panic, disagreement)")
+	backoff := flag.Duration("retry-backoff", 50*time.Millisecond, "initial retry backoff (doubles per attempt)")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: buffy-serve [flags]")
@@ -45,6 +47,8 @@ func main() {
 		QueueDepth:     *queue,
 		CacheEntries:   *cacheN,
 		DefaultTimeout: *timeout,
+		MaxRetries:     *retries,
+		RetryBackoff:   *backoff,
 	})
 	server := &http.Server{Addr: *addr, Handler: service.NewHandler(engine)}
 
@@ -62,18 +66,20 @@ func main() {
 	case <-ctx.Done():
 	}
 
+	// Drain order matters for the probe split: fail readiness first (so
+	// balancers stop routing here), drain the engine while the HTTP
+	// server KEEPS serving — /healthz/ready answers 503, /healthz/live
+	// answers 200, in-flight synchronous handlers finish, new submits get
+	// 503 + Retry-After — and only then take the listener down.
+	engine.BeginDrain()
 	log.Printf("buffy-serve: draining (budget %v)...", *drain)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
-	if err := server.Shutdown(shutdownCtx); err != nil {
-		log.Printf("buffy-serve: http shutdown: %v", err)
-	}
 	if err := engine.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.Canceled) {
 		log.Printf("buffy-serve: engine drain: %v", err)
 	}
-	// A forced engine drain wakes synchronous handlers that still need to
-	// write their 503s; give the HTTP server a moment to flush them before
-	// the process exits.
+	// Engine drained (or force-cancelled at the budget): flush remaining
+	// handlers — including the 503s a forced drain wakes — and exit.
 	flushCtx, flushCancel := context.WithTimeout(context.Background(), 2*time.Second)
 	defer flushCancel()
 	if err := server.Shutdown(flushCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {

@@ -53,6 +53,9 @@ func main() {
 	planOut := flag.String("trace-out", "", "save the discovered trace as a replayable arrival plan (JSON)")
 	stats := flag.Bool("stats", false, "print solver effort statistics (conflicts, decisions, propagations)")
 	nPortfolio := flag.Int("portfolio", 0, "race N diversified solver configs, first conclusive answer wins (verify/witness; 0 = single solver)")
+	maxConflicts := flag.Int64("max-conflicts", 0, "per-solve conflict budget (0 = unlimited; exhaustion reports unknown)")
+	maxProps := flag.Int64("max-propagations", 0, "per-solve propagation budget, a CPU-effort proxy (0 = unlimited)")
+	maxLearnt := flag.Int64("max-learnt-bytes", 0, "learnt-clause memory budget per solve, estimated bytes (0 = unlimited)")
 	flag.Var(params, "param", "compile-time parameter, name=value (repeatable)")
 	flag.Parse()
 
@@ -76,7 +79,8 @@ func main() {
 	a := core.Analysis{
 		T: *T, Params: params, Model: *model, Width: *width,
 		ArrivalsPerStep: *arrivals, BufferCap: *cap,
-		Portfolio: *nPortfolio,
+		Portfolio:    *nPortfolio,
+		MaxConflicts: *maxConflicts, MaxPropagations: *maxProps, MaxLearntBytes: *maxLearnt,
 	}
 
 	switch *mode {
@@ -226,9 +230,18 @@ func runPortfolio(prog *core.Program, a core.Analysis, witness, stats bool, plan
 	}
 }
 
-// printStats renders the solver-effort counters behind the -stats flag.
+// printStats renders the solver-effort counters behind the -stats flag,
+// and always explains an Unknown outcome's stop reason (which budget was
+// exhausted, or that the deadline/cancellation fired).
 func printStats(enabled bool, res *smtbe.Result) {
-	if !enabled {
+	if res != nil && res.Status == smtbe.Unknown && res.Stop.String() != "" {
+		if res.Stop.Budget() {
+			fmt.Printf("search stopped: %s budget exhausted (raise -max-conflicts / -max-propagations / -max-learnt-bytes to search further)\n", res.Stop)
+		} else {
+			fmt.Printf("search stopped: %s\n", res.Stop)
+		}
+	}
+	if !enabled || res == nil {
 		return
 	}
 	s := res.SatStats

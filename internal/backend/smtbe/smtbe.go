@@ -139,6 +139,10 @@ type Result struct {
 	Solver   *solver.Solver
 	SatStats sat.Stats
 	Duration time.Duration
+	// Stop explains an Unknown status: which resource budget was
+	// exhausted, or that the deadline/cancellation fired. sat.StopNone
+	// for conclusive answers.
+	Stop sat.StopReason
 	// Encoding sizes, for scalability experiments.
 	NumClauses int
 	NumVars    int
@@ -241,6 +245,7 @@ func (e *Encoded) solveOn(ctx context.Context, s *solver.Solver, start time.Time
 	switch {
 	case outcome == solver.Unknown:
 		res.Status = Unknown
+		res.Stop = s.StopReason()
 	case outcome == solver.Sat && e.Mode == Verify:
 		res.Status = CounterexampleFound
 	case outcome == solver.Unsat && e.Mode == Verify:

@@ -95,9 +95,13 @@ type Analysis struct {
 	ListCap         int
 	// Width is the solver's integer bit width (default 12).
 	Width int
-	// MaxConflicts / Timeout bound each solver call.
-	MaxConflicts int64
-	Timeout      time.Duration
+	// MaxConflicts / MaxPropagations / MaxLearntBytes / Timeout bound each
+	// solver call; exhausting one yields an Unknown result whose Stop
+	// field names the budget, instead of an open-ended search.
+	MaxConflicts    int64
+	MaxPropagations int64
+	MaxLearntBytes  int64
+	Timeout         time.Duration
 	// Search configures the CDCL search heuristics (restart schedule,
 	// VSIDS decay, polarity, random branching). The zero value is the
 	// classic configuration. Portfolio runs override it per config.
@@ -130,7 +134,11 @@ func (a Analysis) irOptions() (ir.Options, error) {
 }
 
 func (a Analysis) solverOptions() solver.Options {
-	return solver.Options{Width: a.Width, MaxConflicts: a.MaxConflicts, Timeout: a.Timeout, Search: a.Search}
+	return solver.Options{
+		Width: a.Width, MaxConflicts: a.MaxConflicts,
+		MaxPropagations: a.MaxPropagations, MaxLearntBytes: a.MaxLearntBytes,
+		Timeout: a.Timeout, Search: a.Search,
+	}
 }
 
 // Verify checks that every assert holds on all executions within the

@@ -1,0 +1,35 @@
+//go:build !faultinject
+
+package faultinject
+
+import (
+	"context"
+	"time"
+)
+
+// Enabled reports whether the binary was built with fault injection
+// compiled in. In normal builds every hook below is an empty stub.
+const Enabled = false
+
+// Enable arms a point (no-op without the faultinject tag).
+func Enable(point string, f Fault) {}
+
+// Disable disarms a point (no-op without the faultinject tag).
+func Disable(point string) {}
+
+// Reset disarms every point and clears fire counters (no-op without the
+// faultinject tag).
+func Reset() {}
+
+// Fired reports how many times a point's fault has fired.
+func Fired(point string) int64 { return 0 }
+
+// Do fires a point's stall/alloc/panic fault, if armed.
+func Do(ctx context.Context, point string) {}
+
+// SkewDuration passes d through the point's clock-skew fault.
+func SkewDuration(point string, d time.Duration) time.Duration { return d }
+
+// WithCancel registers a job's cancel function with the point's
+// cancel-storm fault.
+func WithCancel(point string, cancel func()) {}

@@ -1,0 +1,129 @@
+//go:build faultinject
+
+package faultinject
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Enabled reports whether the binary was built with fault injection
+// compiled in.
+const Enabled = true
+
+type armed struct {
+	fault Fault
+	fired int64
+}
+
+var (
+	mu     sync.Mutex
+	points = map[string]*armed{}
+)
+
+// Enable arms a point: subsequent hits fire the fault until Disable,
+// Reset, or the fault's Times cap is spent.
+func Enable(point string, f Fault) {
+	mu.Lock()
+	defer mu.Unlock()
+	points[point] = &armed{fault: f}
+}
+
+// Disable disarms a point.
+func Disable(point string) {
+	mu.Lock()
+	defer mu.Unlock()
+	delete(points, point)
+}
+
+// Reset disarms every point and clears fire counters.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	points = map[string]*armed{}
+}
+
+// Fired reports how many times a point's fault has fired.
+func Fired(point string) int64 {
+	mu.Lock()
+	defer mu.Unlock()
+	if a := points[point]; a != nil {
+		return a.fired
+	}
+	return 0
+}
+
+// take consumes one firing of the point's fault, honoring the Times cap.
+// It returns a copy of the fault, or false when the point is idle/spent.
+func take(point string) (Fault, bool) {
+	mu.Lock()
+	defer mu.Unlock()
+	a := points[point]
+	if a == nil || (a.fault.Times > 0 && a.fired >= a.fault.Times) {
+		return Fault{}, false
+	}
+	a.fired++
+	return a.fault, true
+}
+
+// Do fires a point's fault in order: allocation pressure, stall, panic.
+// The stall observes ctx so an injected hang still honors cancellation
+// and deadlines — exactly like a real pathological solve.
+func Do(ctx context.Context, point string) {
+	f, ok := take(point)
+	if !ok {
+		return
+	}
+	if f.AllocBytes > 0 {
+		ballast := make([]byte, f.AllocBytes)
+		// Touch pages so the allocation is real, then let it die young.
+		for i := 0; i < len(ballast); i += 4096 {
+			ballast[i] = 1
+		}
+		_ = ballast
+	}
+	if f.Delay > 0 {
+		if ctx == nil {
+			time.Sleep(f.Delay)
+		} else {
+			select {
+			case <-time.After(f.Delay):
+			case <-ctx.Done():
+			}
+		}
+	}
+	if f.Panic != "" {
+		panic("faultinject: " + f.Panic)
+	}
+}
+
+// SkewDuration passes d through the point's clock-skew fault, clamping at
+// a floor of 1ns so a skewed deadline stays a deadline rather than
+// becoming "no deadline".
+func SkewDuration(point string, d time.Duration) time.Duration {
+	f, ok := take(point)
+	if !ok || f.Skew == 0 {
+		return d
+	}
+	if out := d + f.Skew; out > 0 {
+		return out
+	}
+	return time.Nanosecond
+}
+
+// WithCancel registers a job's cancel function with the point's
+// cancel-storm fault: the job is cancelled Delay after it starts running,
+// simulating a client disconnect mid-solve.
+func WithCancel(point string, cancel func()) {
+	f, ok := take(point)
+	if !ok {
+		return
+	}
+	go func() {
+		if f.Delay > 0 {
+			time.Sleep(f.Delay)
+		}
+		cancel()
+	}()
+}

@@ -1,0 +1,55 @@
+// Package faultinject is Buffy's chaos-engineering harness: named
+// injection points compiled into the service and solver layers that are
+// complete no-ops in normal builds and become scriptable faults under the
+// `faultinject` build tag (`go test -tags faultinject ...`).
+//
+// A production binary pays nothing: without the tag every function here
+// is an empty inlineable stub and the Enabled constant lets callers guard
+// any non-trivial setup with dead-code-eliminated branches. With the tag,
+// tests call Enable to arm a point with a Fault — a panic, a stall, an
+// allocation burst, a spurious cancellation, or a clock skew — and the
+// chaos suite asserts the service stays live, never emits a wrong
+// verdict, and recovers capacity once faults clear.
+package faultinject
+
+import "time"
+
+// Injection point names. Each names a place in the runtime where a fault
+// can be armed; sites fire them via Do / SkewDuration / WithCancel.
+const (
+	// PointSolverStall stalls a worker at the top of an analysis,
+	// simulating a pathological solve that pins the worker.
+	PointSolverStall = "service.solver.stall"
+	// PointWorkerPanic panics inside the worker's shielded analysis
+	// region, exercising the recover path and the retry ladder.
+	PointWorkerPanic = "service.worker.panic"
+	// PointAllocPressure allocates (and releases) a transient ballast
+	// before the solve, simulating allocation pressure / GC churn.
+	PointAllocPressure = "service.alloc.pressure"
+	// PointCancelStorm cancels the job shortly after it starts running,
+	// simulating a storm of client disconnects.
+	PointCancelStorm = "service.cancel.storm"
+	// PointClockSkew skews the per-job deadline computation, simulating
+	// clock drift between admission and execution.
+	PointClockSkew = "service.clock.skew"
+)
+
+// Fault scripts one injection point. Zero-valued fields do nothing, so a
+// Fault describes exactly the failure mode under test.
+type Fault struct {
+	// Panic, when non-empty, panics with this message at the point.
+	Panic string
+	// Delay stalls the point (Do) or delays the injected cancellation
+	// (WithCancel) by this much. Do's stall observes the job context, so
+	// cancellation still unwinds a stalled worker.
+	Delay time.Duration
+	// AllocBytes allocates a transient ballast of this size at the point.
+	AllocBytes int
+	// Skew is added to durations passed through SkewDuration (negative
+	// values shrink deadlines).
+	Skew time.Duration
+	// Times caps how often the fault fires (0 = every hit). Once spent,
+	// the point reverts to a no-op — the "fault clears" half of chaos
+	// recovery tests.
+	Times int64
+}

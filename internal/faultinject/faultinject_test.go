@@ -1,0 +1,77 @@
+package faultinject
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestDisabledIsNoOp runs in both builds: without the tag it pins that
+// every hook is inert; with the tag it exercises arm/fire/cap/reset.
+func TestHarness(t *testing.T) {
+	defer Reset()
+
+	if !Enabled {
+		Enable(PointWorkerPanic, Fault{Panic: "boom"})
+		Do(context.Background(), PointWorkerPanic) // must not panic
+		if got := SkewDuration(PointClockSkew, time.Second); got != time.Second {
+			t.Errorf("disabled SkewDuration altered the duration: %v", got)
+		}
+		if Fired(PointWorkerPanic) != 0 {
+			t.Error("disabled build recorded a firing")
+		}
+		return
+	}
+
+	// Panic fault fires, respecting the Times cap.
+	Enable(PointWorkerPanic, Fault{Panic: "boom", Times: 1})
+	panicked := func() (p bool) {
+		defer func() { p = recover() != nil }()
+		Do(context.Background(), PointWorkerPanic)
+		return
+	}
+	if !panicked() {
+		t.Fatal("armed panic did not fire")
+	}
+	if panicked() {
+		t.Fatal("Times=1 fault fired twice")
+	}
+	if Fired(PointWorkerPanic) != 1 {
+		t.Errorf("fired = %d, want 1", Fired(PointWorkerPanic))
+	}
+
+	// Stall observes the context.
+	Enable(PointSolverStall, Fault{Delay: 10 * time.Second})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { time.Sleep(10 * time.Millisecond); cancel() }()
+	start := time.Now()
+	Do(ctx, PointSolverStall)
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("stall ignored cancellation (%v)", elapsed)
+	}
+
+	// Skew shrinks but never zeroes a deadline.
+	Enable(PointClockSkew, Fault{Skew: -time.Hour})
+	if got := SkewDuration(PointClockSkew, time.Second); got <= 0 || got > time.Second {
+		t.Errorf("skewed duration = %v, want in (0, 1s]", got)
+	}
+
+	// Cancel storm calls the hook.
+	done := make(chan struct{})
+	Enable(PointCancelStorm, Fault{Delay: time.Millisecond})
+	WithCancel(PointCancelStorm, func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancel storm never fired")
+	}
+
+	// Reset disarms everything.
+	Reset()
+	if panicked() {
+		t.Error("fault survived Reset")
+	}
+	if Fired(PointWorkerPanic) != 0 {
+		t.Error("fire counter survived Reset")
+	}
+}

@@ -1,0 +1,113 @@
+package portfolio
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"buffy/internal/backend/smtbe"
+	"buffy/internal/smt/sat"
+)
+
+// checkGoroutineLeak asserts that the goroutine count settles back to
+// (roughly) its pre-test level: the fork/cancel machinery must not strand
+// config runners. The small allowance absorbs runtime housekeeping
+// goroutines; a real leak under the storm below is two per iteration and
+// blows straight past it.
+func checkGoroutineLeak(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= before+3 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutine leak: %d before storm, %d after\n%s",
+				before, n, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestCancelStorm hammers the race machinery the way an flaky client
+// does: submit a portfolio race, cancel it mid-flight, immediately
+// resubmit — 100 times, with the cancellation landing before, during and
+// after the race. Run under -race this is the data-race probe for the
+// fork/cancel paths; the leak check asserts every loser unwound. The
+// scripted ground truth is Holds, so any conclusive answer that is not
+// Holds is a wrong verdict smuggled in by a cancellation path.
+func TestCancelStorm(t *testing.T) {
+	blockerEntered := make(chan struct{}, 1)
+	stubCheck(t, map[int64]func(ctx context.Context) (*smtbe.Result, error){
+		1: func(ctx context.Context) (*smtbe.Result, error) {
+			// The eventual winner: conclusive after a short beat, unless
+			// the storm cancels it first.
+			select {
+			case <-time.After(2 * time.Millisecond):
+				return &smtbe.Result{Status: smtbe.Holds, SatStats: sat.Stats{Conflicts: 1}}, nil
+			case <-ctx.Done():
+				return &smtbe.Result{Status: smtbe.Unknown}, ctx.Err()
+			}
+		},
+		2: func(ctx context.Context) (*smtbe.Result, error) {
+			// The perpetual loser: blocks until cancelled (by the winner or
+			// by the storm) — the goroutine the leak check watches for.
+			select {
+			case blockerEntered <- struct{}{}:
+			default:
+			}
+			<-ctx.Done()
+			return &smtbe.Result{Status: smtbe.Unknown}, ctx.Err()
+		},
+	})
+	opts := Options{Configs: []Config{
+		{Name: "winner", Search: sat.Options{RestartBase: 1}},
+		{Name: "blocker", Search: sat.Options{RestartBase: 2}},
+	}}
+
+	before := runtime.NumGoroutine()
+	for i := 0; i < 100; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		switch i % 3 {
+		case 0:
+			// Cancel before the race even starts.
+			cancel()
+		case 1:
+			// Cancel mid-race, racing the 2ms winner.
+			go func() {
+				time.Sleep(time.Duration(i%4) * time.Millisecond)
+				cancel()
+			}()
+		case 2:
+			// Let the race finish; cancel afterwards (the resubmit path).
+		}
+
+		res, err := CheckContext(ctx, nil, opts)
+		if err != nil && !errors.Is(err, context.Canceled) {
+			t.Fatalf("iteration %d: err = %v, want nil or context.Canceled", i, err)
+		}
+		if res != nil && res.Status != smtbe.Unknown && res.Status != smtbe.Holds {
+			t.Fatalf("iteration %d: wrong verdict %v under cancellation (truth is Holds)", i, res.Status)
+		}
+		if i%3 == 2 {
+			if err != nil {
+				t.Fatalf("iteration %d: uncancelled race failed: %v", i, err)
+			}
+			if res.Status != smtbe.Holds || res.Winner != "winner" {
+				t.Fatalf("iteration %d: status=%v winner=%q, want Holds/winner", i, res.Status, res.Winner)
+			}
+		}
+		cancel()
+	}
+
+	select {
+	case <-blockerEntered:
+	default:
+		t.Fatal("storm never exercised the blocking loser")
+	}
+	checkGoroutineLeak(t, before)
+}

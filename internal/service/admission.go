@@ -1,0 +1,67 @@
+package service
+
+import (
+	"sync"
+	"time"
+)
+
+// ewmaAlpha weights the newest observation in the latency estimate. 0.2
+// tracks regime shifts (a burst of heavy queries) within a handful of
+// jobs without letting one outlier dominate.
+const ewmaAlpha = 0.2
+
+// admission holds an exponentially weighted moving average of recent
+// solve latency per request class (Kind). The engine uses it for
+// deadline-aware admission control: a job whose deadline cannot be met
+// given the current queue backlog and the class's typical latency is
+// rejected at submit time — failing in microseconds instead of tying up
+// a queue slot only to time out later.
+type admission struct {
+	mu  sync.Mutex
+	est map[Kind]time.Duration
+}
+
+func newAdmission() *admission {
+	return &admission{est: make(map[Kind]time.Duration)}
+}
+
+// observe folds a finished solve's wall time into the class estimate.
+// Deadline-expired jobs are observed too (at their timeout), which is a
+// lower bound on the true latency — exactly the conservative direction
+// admission control wants.
+func (a *admission) observe(k Kind, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	prev, ok := a.est[k]
+	if !ok {
+		a.est[k] = d
+		return
+	}
+	a.est[k] = time.Duration(ewmaAlpha*float64(d) + (1-ewmaAlpha)*float64(prev))
+}
+
+// estimate returns the class's current latency estimate; ok is false
+// until the first observation (unknown classes are always admitted).
+func (a *admission) estimate(k Kind) (time.Duration, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	d, ok := a.est[k]
+	return d, ok
+}
+
+// maxEstimate returns the largest per-class estimate, used to derive a
+// conservative Retry-After hint when shedding load.
+func (a *admission) maxEstimate() time.Duration {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var max time.Duration
+	for _, d := range a.est {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}

@@ -1,0 +1,273 @@
+//go:build faultinject
+
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"buffy/internal/faultinject"
+)
+
+// The chaos suite (go test -tags faultinject ./internal/service/...)
+// injects faults at the named points and asserts the three invariants of
+// the fault-tolerant runtime:
+//
+//  1. the service stays live — a fault fails (at most) the faulted job,
+//     never the engine;
+//  2. no fault ever causes a wrong verdict — the CS1 witness query's
+//     answer is "witness", so any Done result claiming "no-witness"
+//     would be a soundness bug injected by the fault path;
+//  3. capacity recovers — once the fault clears, the same query solves
+//     correctly again.
+
+// assertNoWrongVerdict fails the test if a result contradicts the known
+// CS1 ground truth. Unknown is acceptable under faults; a confident
+// wrong answer is not.
+func assertNoWrongVerdict(t *testing.T, res *Result) {
+	t.Helper()
+	if res == nil {
+		return
+	}
+	if res.Status == "no-witness" {
+		t.Fatalf("wrong verdict under fault injection: got %q for a query whose ground truth is witness", res.Status)
+	}
+}
+
+// mustWitness submits the CS1 query with no faults armed and requires the
+// correct verdict — the "capacity recovered" probe.
+func mustWitness(t *testing.T, e *Engine) {
+	t.Helper()
+	job, err := e.Submit(fqWitnessReq(6))
+	if err != nil {
+		t.Fatalf("recovery submit: %v", err)
+	}
+	res := waitDone(t, job, 2*time.Minute)
+	if res.Status != "witness" {
+		t.Fatalf("recovery solve: status = %q, want witness", res.Status)
+	}
+}
+
+// TestChaosWorkerPanic arms a one-shot panic inside the worker's shielded
+// region: the first attempt dies, the retry ladder reruns the analysis,
+// and the job still produces the correct verdict.
+func TestChaosWorkerPanic(t *testing.T) {
+	defer faultinject.Reset()
+	e := New(Config{Workers: 1, MaxRetries: 2, RetryBackoff: time.Millisecond})
+	defer shutdown(t, e)
+
+	faultinject.Enable(faultinject.PointWorkerPanic, faultinject.Fault{Panic: "chaos", Times: 1})
+	job, err := e.Submit(fqWitnessReq(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := waitDone(t, job, 2*time.Minute)
+	assertNoWrongVerdict(t, res)
+	if res.Status != "witness" {
+		t.Fatalf("status = %q, want witness (retry should survive a one-shot panic)", res.Status)
+	}
+	if res.Attempts != 2 {
+		t.Errorf("Attempts = %d, want 2", res.Attempts)
+	}
+	if m := e.Metrics(); m.JobRetries["panic"] != 1 {
+		t.Errorf("JobRetries[panic] = %d, want 1", m.JobRetries["panic"])
+	}
+	if got := faultinject.Fired(faultinject.PointWorkerPanic); got != 1 {
+		t.Errorf("panic fired %d times, want 1", got)
+	}
+}
+
+// TestChaosPanicStormWithoutRetries floods every attempt with panics on
+// an engine with retries off: each faulted job fails cleanly, the engine
+// survives, and capacity returns once the storm clears.
+func TestChaosPanicStormWithoutRetries(t *testing.T) {
+	defer faultinject.Reset()
+	e := New(Config{Workers: 2})
+	defer shutdown(t, e)
+
+	faultinject.Enable(faultinject.PointWorkerPanic, faultinject.Fault{Panic: "storm"})
+	const n = 6
+	jobs := make([]*Job, 0, n)
+	for i := 0; i < n; i++ {
+		req := fqWitnessReq(6)
+		req.Params = map[string]int64{"N": 3, "storm": int64(i)} // defeat the cache
+		job, err := e.Submit(req)
+		if err != nil {
+			t.Fatalf("submit %d during storm: %v", i, err)
+		}
+		jobs = append(jobs, job)
+	}
+	for i, job := range jobs {
+		select {
+		case <-job.Done():
+		case <-time.After(time.Minute):
+			t.Fatalf("job %d hung under panic storm", i)
+		}
+		res, err := job.Result()
+		assertNoWrongVerdict(t, res)
+		if !errors.Is(err, ErrAnalysisPanic) {
+			t.Errorf("job %d: err = %v, want ErrAnalysisPanic", i, err)
+		}
+	}
+	if m := e.Metrics(); m.JobsFailedBy["panic"] != n {
+		t.Errorf("JobsFailedBy[panic] = %d, want %d", m.JobsFailedBy["panic"], n)
+	}
+	faultinject.Reset()
+	mustWitness(t, e)
+}
+
+// TestChaosSolverStall pins deadline handling under a stalled solve: the
+// stall eats the job's deadline, the job fails as a deadline (not a
+// hang, not an input error), and the worker is back for the next job.
+func TestChaosSolverStall(t *testing.T) {
+	defer faultinject.Reset()
+	e := New(Config{Workers: 1})
+	defer shutdown(t, e)
+
+	faultinject.Enable(faultinject.PointSolverStall,
+		faultinject.Fault{Delay: 30 * time.Second, Times: 1})
+	req := fqWitnessReq(6)
+	req.TimeoutMS = 300
+	job, err := e.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-job.Done():
+	case <-time.After(time.Minute):
+		t.Fatal("stalled job ignored its deadline")
+	}
+	res, err := job.Result()
+	assertNoWrongVerdict(t, res)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if m := e.Metrics(); m.JobsFailedBy["deadline"] != 1 {
+		t.Errorf("JobsFailedBy[deadline] = %d, want 1", m.JobsFailedBy["deadline"])
+	}
+	mustWitness(t, e)
+}
+
+// TestChaosCancelStorm cancels every job shortly after it starts running
+// — a storm of client disconnects. Jobs end canceled (or done, if the
+// solve won the race), never wedged, and never with a wrong verdict.
+func TestChaosCancelStorm(t *testing.T) {
+	defer faultinject.Reset()
+	e := New(Config{Workers: 2})
+	defer shutdown(t, e)
+
+	faultinject.Enable(faultinject.PointCancelStorm, faultinject.Fault{Delay: time.Millisecond})
+	const n = 8
+	for i := 0; i < n; i++ {
+		req := fqWitnessReq(6)
+		req.Params = map[string]int64{"N": 3, "storm": int64(i)}
+		job, err := e.Submit(req)
+		if err != nil {
+			t.Fatalf("submit %d during cancel storm: %v", i, err)
+		}
+		select {
+		case <-job.Done():
+		case <-time.After(time.Minute):
+			t.Fatalf("job %d wedged under cancel storm", i)
+		}
+		res, err := job.Result()
+		assertNoWrongVerdict(t, res)
+		st := job.State()
+		if st != StateCanceled && st != StateDone {
+			t.Errorf("job %d: state = %s, want canceled or done", i, st)
+		}
+		if err != nil && !errors.Is(err, context.Canceled) {
+			t.Errorf("job %d: err = %v, want context.Canceled", i, err)
+		}
+	}
+	faultinject.Reset()
+	mustWitness(t, e)
+}
+
+// TestChaosAllocPressure runs the solve behind a transient 64 MiB
+// allocation burst: pure GC churn must not change the verdict.
+func TestChaosAllocPressure(t *testing.T) {
+	defer faultinject.Reset()
+	e := New(Config{Workers: 1})
+	defer shutdown(t, e)
+
+	faultinject.Enable(faultinject.PointAllocPressure, faultinject.Fault{AllocBytes: 64 << 20})
+	job, err := e.Submit(fqWitnessReq(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := waitDone(t, job, 2*time.Minute)
+	assertNoWrongVerdict(t, res)
+	if res.Status != "witness" {
+		t.Fatalf("status = %q, want witness", res.Status)
+	}
+}
+
+// TestChaosClockSkew skews the per-job deadline computation hard
+// negative: the deadline clamps to its 1ns floor, the job fails fast as
+// a deadline — not a hang, not a wrong answer — and the next job's
+// timing is back to normal.
+func TestChaosClockSkew(t *testing.T) {
+	defer faultinject.Reset()
+	e := New(Config{Workers: 1})
+	defer shutdown(t, e)
+
+	faultinject.Enable(faultinject.PointClockSkew, faultinject.Fault{Skew: -time.Hour, Times: 1})
+	job, err := e.Submit(fqWitnessReq(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-job.Done():
+	case <-time.After(time.Minute):
+		t.Fatal("skewed job never finished")
+	}
+	res, err := job.Result()
+	assertNoWrongVerdict(t, res)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded under negative skew", err)
+	}
+	mustWitness(t, e)
+}
+
+// TestChaosMetricsStayCoherent cross-checks the ledger after a mixed
+// chaos run: submitted must reconcile with completed+failed+canceled,
+// under faults exactly as in normal operation.
+func TestChaosMetricsStayCoherent(t *testing.T) {
+	defer faultinject.Reset()
+	e := New(Config{Workers: 2, MaxRetries: 1, RetryBackoff: time.Millisecond})
+	defer shutdown(t, e)
+
+	faultinject.Enable(faultinject.PointWorkerPanic, faultinject.Fault{Panic: "mixed", Times: 3})
+	jobs := make([]*Job, 0, 8)
+	for i := 0; i < 8; i++ {
+		req := fqWitnessReq(6)
+		req.Params = map[string]int64{"N": 3, "mix": int64(i)}
+		job, err := e.Submit(req)
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		jobs = append(jobs, job)
+	}
+	for i, job := range jobs {
+		select {
+		case <-job.Done():
+		case <-time.After(2 * time.Minute):
+			t.Fatalf("job %d hung", i)
+		}
+		res, _ := job.Result()
+		assertNoWrongVerdict(t, res)
+	}
+	m := e.Metrics()
+	var submitted int64
+	for _, n := range m.JobsSubmitted {
+		submitted += n
+	}
+	if got := m.JobsCompleted + m.JobsFailed + m.JobsCanceled; got != submitted {
+		t.Errorf("ledger: completed+failed+canceled = %d, submitted = %d (%s)",
+			got, submitted, fmt.Sprintf("%+v", m))
+	}
+}

@@ -4,11 +4,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"buffy/internal/core"
+	"buffy/internal/faultinject"
 )
 
 // Submission errors.
@@ -18,6 +22,11 @@ var (
 	ErrQueueFull = errors.New("service: job queue full")
 	// ErrClosed is returned once Shutdown has begun.
 	ErrClosed = errors.New("service: engine shut down")
+	// ErrDeadlineUnmeetable is returned by deadline-aware admission: given
+	// the queue backlog and the request class's recent latency, the job
+	// would blow its deadline before a worker could finish it — so it is
+	// rejected at submit time instead of timing out later.
+	ErrDeadlineUnmeetable = errors.New("service: deadline unmeetable under current load")
 )
 
 // State is a job's lifecycle phase.
@@ -170,6 +179,15 @@ type Config struct {
 	// Retention caps how many finished jobs stay queryable via Job()
 	// (default 1024).
 	Retention int
+	// MaxRetries caps how many times a transient failure (budget
+	// exhaustion, recovered panic, portfolio disagreement) is retried with
+	// an escalated or degraded configuration. Default 0: every attempt's
+	// outcome is final, preserving the library's one-shot semantics;
+	// buffy-serve opts in via its -retries flag.
+	MaxRetries int
+	// RetryBackoff is the delay before the first retry, doubling per
+	// attempt (default 50ms).
+	RetryBackoff time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -188,6 +206,12 @@ func (c Config) withDefaults() Config {
 	if c.Retention <= 0 {
 		c.Retention = 1024
 	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 50 * time.Millisecond
+	}
 	return c
 }
 
@@ -198,6 +222,9 @@ type Engine struct {
 	queue chan *Job
 	cache *cache
 	met   *metrics
+	admit *admission
+
+	draining atomic.Bool
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -220,6 +247,7 @@ func New(cfg Config) *Engine {
 		queue:      make(chan *Job, cfg.QueueDepth),
 		cache:      newCache(cfg.CacheEntries),
 		met:        newMetrics(),
+		admit:      newAdmission(),
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		jobs:       make(map[string]*Job),
@@ -263,6 +291,27 @@ func (e *Engine) Submit(req *Request) (*Job, error) {
 		return job, nil
 	}
 
+	// Deadline-aware admission: with queueLen jobs already waiting for
+	// cfg.Workers workers, this job starts after roughly queueLen/workers
+	// typical solves and then needs one more of its own. If that cannot
+	// fit inside its deadline, admitting it only converts a fast 503 into
+	// a slow 504 while burning a queue slot.
+	if est, ok := e.admit.estimate(req.Kind); ok {
+		deadline := time.Duration(req.TimeoutMS) * time.Millisecond
+		if deadline <= 0 {
+			deadline = e.cfg.DefaultTimeout
+		}
+		if deadline > 0 {
+			eta := est + est*time.Duration(len(e.queue))/time.Duration(e.cfg.Workers)
+			if eta > deadline {
+				e.met.rejected.Add(1)
+				e.met.admissionRejected.Add(1)
+				return nil, fmt.Errorf("%w: estimated completion %v > deadline %v",
+					ErrDeadlineUnmeetable, eta.Round(time.Millisecond), deadline)
+			}
+		}
+	}
+
 	job := e.newJobLocked(req)
 	select {
 	case e.queue <- job:
@@ -303,6 +352,32 @@ func (e *Engine) Closed() bool {
 	return e.closed
 }
 
+// BeginDrain marks the engine as draining: readiness probes start
+// failing so load balancers stop routing new work here, while already
+// accepted jobs keep running. Call it ahead of Shutdown to drain
+// gracefully behind a balancer.
+func (e *Engine) BeginDrain() { e.draining.Store(true) }
+
+// Ready reports whether the engine should receive new work: true until
+// BeginDrain or Shutdown. Liveness is separate — a draining engine is
+// alive but not ready.
+func (e *Engine) Ready() bool { return !e.draining.Load() && !e.Closed() }
+
+// RetryAfter estimates, in whole seconds (min 1), how long a shed client
+// should wait before retrying: the queue backlog divided across the
+// worker pool, priced at the slowest request class's recent latency.
+func (e *Engine) RetryAfter() int {
+	est := e.admit.maxEstimate()
+	if est <= 0 {
+		return 1
+	}
+	wait := est * time.Duration(len(e.queue)+1) / time.Duration(e.cfg.Workers)
+	if secs := int(math.Ceil(wait.Seconds())); secs > 1 {
+		return secs
+	}
+	return 1
+}
+
 // Job looks up a job by ID (live or within the retention window).
 func (e *Engine) Job(id string) (*Job, bool) {
 	e.mu.Lock()
@@ -321,6 +396,7 @@ func (e *Engine) Metrics() Snapshot {
 // in-flight solve is force-cancelled cooperatively and Shutdown returns
 // once workers unwind.
 func (e *Engine) Shutdown(ctx context.Context) error {
+	e.draining.Store(true)
 	e.mu.Lock()
 	if !e.closed {
 		e.closed = true
@@ -362,33 +438,96 @@ func (e *Engine) runJob(job *Job) {
 	if timeout <= 0 {
 		timeout = e.cfg.DefaultTimeout
 	}
+	timeout = faultinject.SkewDuration(faultinject.PointClockSkew, timeout)
 	if timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
+	faultinject.WithCancel(faultinject.PointCancelStorm, job.cancel)
+
+	// Effective request: the degradation ladder mutates this copy between
+	// attempts; the cache key stays the original request's.
+	eff := *job.Req
+	req := &eff
 
 	start := time.Now()
-	res, err := runAnalysisSafe(ctx, job.Req)
+	var (
+		res      *Result
+		err      error
+		class    failureClass
+		reason   string
+		degraded string
+	)
+	attempt := 0
+	for {
+		attempt++
+		res, err = runAnalysisSafe(ctx, req)
+		class, reason = classify(res, err)
+		if strings.HasPrefix(reason, "budget-") {
+			e.met.recordBudget(strings.TrimPrefix(reason, "budget-"))
+		}
+		if class != failTransient || attempt > e.cfg.MaxRetries {
+			break
+		}
+		e.met.recordRetry(reason)
+		if step := degradeForRetry(req, reason); step != "" {
+			degraded = step
+			e.met.degradedJobs.Add(1)
+		}
+		// Exponential backoff, interruptible by deadline or cancel: a
+		// context that dies mid-backoff ends the job with the context's
+		// own classification instead of burning another attempt.
+		backoff := e.cfg.RetryBackoff << (attempt - 1)
+		timer := time.NewTimer(backoff)
+		ctxDied := false
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			timer.Stop()
+			res, err = nil, ctx.Err()
+			class, reason = classify(res, err)
+			ctxDied = true
+		}
+		if ctxDied {
+			break
+		}
+	}
 	elapsed := time.Since(start)
 
-	switch {
-	case err == nil:
+	switch class {
+	case failNone, failTransient:
+		if err != nil {
+			// Transient error (panic, disagreement) with retries exhausted.
+			e.met.recordFailed(reason)
+			job.finishFromWorker(StateFailed, nil, err)
+			break
+		}
+		// Either a definite answer or an Unknown the caller must interpret
+		// (budget exhausted with no retries left is still a valid Unknown).
 		e.met.completed.Add(1)
 		e.met.recordSolve(elapsed, res.SatStats)
+		e.admit.observe(job.Req.Kind, elapsed)
 		if res.PortfolioSize > 1 {
 			e.met.recordPortfolio(res.PortfolioWinner, elapsed)
 		}
+		res.Attempts = attempt
+		res.Degraded = degraded
 		if res.conclusive() {
 			e.cache.put(job.Req.CacheKey(), res)
 		}
 		job.finishFromWorker(StateDone, res, nil)
-	case errors.Is(err, context.Canceled):
+	case failCanceled:
 		e.met.canceled.Add(1)
 		job.finishFromWorker(StateCanceled, nil, err)
-	default:
-		// Deadline expiry, parse/type errors, compile errors.
-		e.met.failed.Add(1)
+	case failDeadline:
+		// The timeout is a lower bound on the true latency; feeding it to
+		// the admission EWMA keeps the estimate honest under overload.
+		e.met.recordFailed(reason)
+		e.admit.observe(job.Req.Kind, elapsed)
+		job.finishFromWorker(StateFailed, nil, err)
+	default: // failPermanent: parse/type/compile errors.
+		e.met.recordFailed(reason)
 		job.finishFromWorker(StateFailed, nil, err)
 	}
 	e.noteFinished(job.ID)
@@ -396,13 +535,18 @@ func (e *Engine) runJob(job *Job) {
 
 // runAnalysisSafe shields the worker pool from panics escaping the
 // analysis stack: Validate should reject anything that can panic, but a
-// panic that slips through must fail one job, not crash the service.
+// panic that slips through must fail one job, not crash the service. The
+// recovered panic is wrapped in ErrAnalysisPanic so the failure taxonomy
+// can classify it as transient.
 func runAnalysisSafe(ctx context.Context, req *Request) (res *Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			res, err = nil, fmt.Errorf("service: analysis panicked: %v", r)
+			res, err = nil, fmt.Errorf("%w: %v", ErrAnalysisPanic, r)
 		}
 	}()
+	faultinject.Do(ctx, faultinject.PointAllocPressure)
+	faultinject.Do(ctx, faultinject.PointSolverStall)
+	faultinject.Do(ctx, faultinject.PointWorkerPanic)
 	return runAnalysis(ctx, req)
 }
 

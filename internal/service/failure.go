@@ -1,0 +1,122 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"strings"
+
+	"buffy/internal/portfolio"
+	"buffy/internal/smt/sat"
+)
+
+// ErrAnalysisPanic wraps a panic recovered inside the worker's shielded
+// analysis region. It is transient from the engine's point of view: the
+// panic may be a corrupted heuristic state or an injected fault, so a
+// retry — degraded to a simpler configuration — is worth one attempt.
+var ErrAnalysisPanic = errors.New("service: analysis panicked")
+
+// failureClass partitions every attempt outcome by what the engine should
+// do about it. The taxonomy is the policy core of the fault-tolerant
+// runtime: permanent failures propagate immediately (the client sent a
+// bad program; retrying cannot help), transient failures enter the
+// retry/degradation ladder, deadline expiry is fatal to the job but says
+// nothing about the input, and cancellation is the client's own choice.
+type failureClass int
+
+const (
+	// failNone: the attempt produced a result worth returning (conclusive
+	// or an acceptable Unknown).
+	failNone failureClass = iota
+	// failTransient: budget exhaustion, a recovered panic, or a portfolio
+	// disagreement — retrying with an escalated or degraded configuration
+	// may succeed.
+	failTransient
+	// failDeadline: the job's wall-clock deadline expired. No retry can
+	// fit inside an already-spent deadline.
+	failDeadline
+	// failCanceled: the client (or shutdown drain) canceled the job.
+	failCanceled
+	// failPermanent: parse/type/compile errors — properties of the input,
+	// not of the run.
+	failPermanent
+)
+
+// budgetReason reports whether a stop-reason string names a resource
+// budget (as opposed to deadline/cancel stops).
+func budgetReason(stop string) bool {
+	switch stop {
+	case sat.StopConflicts.String(), sat.StopPropagations.String(), sat.StopLearntBytes.String():
+		return true
+	}
+	return false
+}
+
+// classify maps one attempt's outcome to its failure class and a short
+// metric-label reason. A nil error with an Unknown result that stopped on
+// a resource budget is transient ("budget-<resource>"): the engine may
+// escalate the budget and retry, and if retries are exhausted the Unknown
+// itself is still a valid (uncached) answer.
+func classify(res *Result, err error) (failureClass, string) {
+	if err == nil {
+		if res != nil && budgetReason(res.StopReason) {
+			return failTransient, "budget-" + res.StopReason
+		}
+		return failNone, ""
+	}
+	switch {
+	case errors.Is(err, context.Canceled):
+		return failCanceled, "canceled"
+	case errors.Is(err, context.DeadlineExceeded):
+		return failDeadline, "deadline"
+	case errors.Is(err, ErrAnalysisPanic):
+		return failTransient, "panic"
+	case errors.Is(err, portfolio.ErrDisagreement):
+		return failTransient, "disagreement"
+	}
+	return failPermanent, "input"
+}
+
+// escalationFactor multiplies every set budget on a budget-exhaustion
+// retry, so the retry has a real chance of concluding rather than
+// re-running the identical bounded search.
+const escalationFactor = 4
+
+// retryConflictBudget bounds a degraded retry after a panic or
+// disagreement on an already single-config request: the rerun must not
+// hang on the same pathological input, so it gets a tight conflict cap
+// and at worst comes back Unknown.
+const retryConflictBudget = 1 << 16
+
+// degradeForRetry walks the degradation ladder one rung before a
+// transient retry, mutating the effective request in place:
+//
+//	budget exhaustion      → escalate every set budget (×escalationFactor)
+//	panic / disagreement   → portfolio N → single default config
+//	                       → already single → tightly bounded budget
+//
+// It returns a label naming the step taken ("" when the request was left
+// unchanged).
+func degradeForRetry(req *Request, reason string) string {
+	if strings.HasPrefix(reason, "budget-") {
+		if req.MaxConflicts > 0 {
+			req.MaxConflicts *= escalationFactor
+		}
+		if req.MaxPropagations > 0 {
+			req.MaxPropagations *= escalationFactor
+		}
+		if req.MaxLearntBytes > 0 {
+			req.MaxLearntBytes *= escalationFactor
+		}
+		return "budget-escalated"
+	}
+	// panic / disagreement: simplify before rerunning.
+	if req.Portfolio > 1 {
+		req.Portfolio = 0
+		return "portfolio-off"
+	}
+	if req.MaxConflicts == 0 || req.MaxConflicts > retryConflictBudget {
+		req.MaxConflicts = retryConflictBudget
+		return "budget-reduced"
+	}
+	return ""
+}

@@ -1,0 +1,227 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"buffy/internal/portfolio"
+)
+
+// TestClassify pins the failure taxonomy: every outcome the worker can
+// see maps to exactly one class and metric reason.
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		name   string
+		res    *Result
+		err    error
+		class  failureClass
+		reason string
+	}{
+		{"conclusive", &Result{Status: "witness"}, nil, failNone, ""},
+		{"unknown-no-stop", &Result{Status: "unknown"}, nil, failNone, ""},
+		{"budget-conflicts", &Result{Status: "unknown", StopReason: "conflicts"}, nil, failTransient, "budget-conflicts"},
+		{"budget-propagations", &Result{Status: "unknown", StopReason: "propagations"}, nil, failTransient, "budget-propagations"},
+		{"budget-learnt", &Result{Status: "unknown", StopReason: "learnt-bytes"}, nil, failTransient, "budget-learnt-bytes"},
+		{"deadline-stop-not-budget", &Result{Status: "unknown", StopReason: "deadline"}, nil, failNone, ""},
+		{"canceled", nil, context.Canceled, failCanceled, "canceled"},
+		{"deadline", nil, context.DeadlineExceeded, failDeadline, "deadline"},
+		{"panic", nil, fmt.Errorf("%w: oops", ErrAnalysisPanic), failTransient, "panic"},
+		{"disagreement", nil, fmt.Errorf("check: %w", portfolio.ErrDisagreement), failTransient, "disagreement"},
+		{"parse-error", nil, errors.New("parse: unexpected token"), failPermanent, "input"},
+	}
+	for _, tc := range cases {
+		class, reason := classify(tc.res, tc.err)
+		if class != tc.class || reason != tc.reason {
+			t.Errorf("%s: classify = (%v, %q), want (%v, %q)",
+				tc.name, class, reason, tc.class, tc.reason)
+		}
+	}
+}
+
+// TestDegradeLadder pins the degradation ladder's three rungs.
+func TestDegradeLadder(t *testing.T) {
+	// Budget exhaustion escalates every set budget, leaving unset ones off.
+	req := &Request{MaxConflicts: 100, MaxLearntBytes: 1 << 20}
+	if step := degradeForRetry(req, "budget-conflicts"); step != "budget-escalated" {
+		t.Errorf("step = %q, want budget-escalated", step)
+	}
+	if req.MaxConflicts != 100*escalationFactor {
+		t.Errorf("MaxConflicts = %d, want %d", req.MaxConflicts, 100*escalationFactor)
+	}
+	if req.MaxLearntBytes != (1<<20)*escalationFactor {
+		t.Errorf("MaxLearntBytes = %d, want %d", req.MaxLearntBytes, (1<<20)*escalationFactor)
+	}
+	if req.MaxPropagations != 0 {
+		t.Errorf("unset budget escalated to %d", req.MaxPropagations)
+	}
+
+	// A panicking portfolio degrades to a single default config first...
+	req = &Request{Portfolio: 4}
+	if step := degradeForRetry(req, "panic"); step != "portfolio-off" || req.Portfolio != 0 {
+		t.Errorf("step=%q portfolio=%d, want portfolio-off / 0", step, req.Portfolio)
+	}
+	// ...and an already-single config gets a tight bounded budget.
+	if step := degradeForRetry(req, "panic"); step != "budget-reduced" || req.MaxConflicts != retryConflictBudget {
+		t.Errorf("step=%q conflicts=%d, want budget-reduced / %d", step, req.MaxConflicts, retryConflictBudget)
+	}
+	// A third rung does nothing: the request is already minimal.
+	if step := degradeForRetry(req, "panic"); step != "" {
+		t.Errorf("step = %q, want no-op", step)
+	}
+}
+
+// TestAdmissionRejectsUnmeetableDeadline is the acceptance scenario for
+// deadline-aware admission: with synthetic EWMA state saying witness
+// queries take ~10s, a 50ms-deadline submission is rejected at submit
+// time with ErrDeadlineUnmeetable instead of queuing up to time out.
+func TestAdmissionRejectsUnmeetableDeadline(t *testing.T) {
+	e := New(Config{Workers: 1})
+	defer shutdown(t, e)
+	e.admit.observe(KindWitness, 10*time.Second)
+
+	req := fqWitnessReq(2)
+	req.TimeoutMS = 50
+	if _, err := e.Submit(req); !errors.Is(err, ErrDeadlineUnmeetable) {
+		t.Fatalf("Submit = %v, want ErrDeadlineUnmeetable", err)
+	}
+	m := e.Metrics()
+	if m.AdmissionRejected != 1 {
+		t.Errorf("AdmissionRejected = %d, want 1", m.AdmissionRejected)
+	}
+	if m.JobsRejected != 1 {
+		t.Errorf("JobsRejected = %d, want 1", m.JobsRejected)
+	}
+
+	// A deadline the estimate fits inside is admitted and solves.
+	req = fqWitnessReq(2)
+	req.TimeoutMS = 60_000
+	job, err := e.Submit(req)
+	if err != nil {
+		t.Fatalf("generous deadline rejected: %v", err)
+	}
+	waitDone(t, job, time.Minute)
+
+	// Unknown request classes (no EWMA yet) are always admitted.
+	synth := &Request{Kind: KindVerify, Source: fqWitnessReq(2).Source,
+		Params: map[string]int64{"N": 3}, T: 2, TimeoutMS: 1}
+	if _, err := e.Submit(synth); errors.Is(err, ErrDeadlineUnmeetable) {
+		t.Error("class without latency history must be admitted")
+	}
+}
+
+// TestAdmissionEWMATracksLatency pins the estimator itself.
+func TestAdmissionEWMATracksLatency(t *testing.T) {
+	a := newAdmission()
+	if _, ok := a.estimate(KindVerify); ok {
+		t.Fatal("estimate before any observation")
+	}
+	a.observe(KindVerify, time.Second)
+	if est, _ := a.estimate(KindVerify); est != time.Second {
+		t.Errorf("first observation = %v, want 1s", est)
+	}
+	a.observe(KindVerify, 2*time.Second)
+	est, _ := a.estimate(KindVerify)
+	if est <= time.Second || est >= 2*time.Second {
+		t.Errorf("EWMA = %v, want strictly between 1s and 2s", est)
+	}
+	if got := a.maxEstimate(); got != est {
+		t.Errorf("maxEstimate = %v, want %v", got, est)
+	}
+	// Classes are independent.
+	if _, ok := a.estimate(KindSynthesize); ok {
+		t.Error("unobserved class has an estimate")
+	}
+}
+
+// TestRetryEscalatesBudget runs a budget-starved CS1 witness query with
+// retries enabled: the first attempt exhausts its 1-conflict budget, the
+// engine escalates and retries, and the job still finishes as Done (the
+// final outcome may be the witness or a wider Unknown — both are valid;
+// what must not happen is a failure or a hang).
+func TestRetryEscalatesBudget(t *testing.T) {
+	e := New(Config{Workers: 1, MaxRetries: 2, RetryBackoff: time.Millisecond})
+	defer shutdown(t, e)
+
+	req := fqWitnessReq(6)
+	req.MaxConflicts = 1
+	job, err := e.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := waitDone(t, job, 2*time.Minute)
+	if res.Attempts < 2 {
+		t.Errorf("Attempts = %d, want >= 2 (first attempt must exhaust its budget)", res.Attempts)
+	}
+	if res.Degraded != "budget-escalated" {
+		t.Errorf("Degraded = %q, want budget-escalated", res.Degraded)
+	}
+	m := e.Metrics()
+	if m.JobRetries["budget-conflicts"] < 1 {
+		t.Errorf("JobRetries[budget-conflicts] = %d, want >= 1", m.JobRetries["budget-conflicts"])
+	}
+	if m.BudgetExhausted["conflicts"] < 1 {
+		t.Errorf("BudgetExhausted[conflicts] = %d, want >= 1", m.BudgetExhausted["conflicts"])
+	}
+	if m.JobsDegraded < 1 {
+		t.Errorf("JobsDegraded = %d, want >= 1", m.JobsDegraded)
+	}
+}
+
+// TestPanicRetriedThenFails pins the transient-exhausted path: a request
+// that panics on every attempt (unsupported bit width, bypassing
+// Validate) is retried with degradation and then fails with the panic
+// reason — counted under jobs_failed{reason="panic"}.
+func TestPanicRetriedThenFails(t *testing.T) {
+	e := New(Config{Workers: 1, MaxRetries: 1, RetryBackoff: time.Millisecond})
+	defer shutdown(t, e)
+	req := fqWitnessReq(2)
+	req.Width = 1 // bitblast.New panics on this
+	e.mu.Lock()
+	job := e.newJobLocked(req)
+	e.mu.Unlock()
+	e.runJob(job)
+
+	if st := job.State(); st != StateFailed {
+		t.Fatalf("state = %s, want failed", st)
+	}
+	if _, err := job.Result(); !errors.Is(err, ErrAnalysisPanic) {
+		t.Errorf("error = %v, want ErrAnalysisPanic", err)
+	}
+	m := e.Metrics()
+	if m.JobsFailedBy["panic"] != 1 {
+		t.Errorf("JobsFailedBy[panic] = %d, want 1", m.JobsFailedBy["panic"])
+	}
+	if m.JobRetries["panic"] != 1 {
+		t.Errorf("JobRetries[panic] = %d, want 1", m.JobRetries["panic"])
+	}
+}
+
+// TestBudgetUnknownWithoutRetries pins the opt-out default: MaxRetries=0
+// finishes a budget-exhausted solve as Done/unknown on the first attempt,
+// stamped with its stop reason — the pre-retry library semantics.
+func TestBudgetUnknownWithoutRetries(t *testing.T) {
+	e := New(Config{Workers: 1})
+	defer shutdown(t, e)
+	req := fqWitnessReq(6)
+	req.MaxConflicts = 1
+	job, err := e.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := waitDone(t, job, time.Minute)
+	if res.Status != "unknown" {
+		t.Fatalf("status = %s, want unknown", res.Status)
+	}
+	if res.StopReason != "conflicts" {
+		t.Errorf("StopReason = %q, want conflicts", res.StopReason)
+	}
+	if res.Attempts != 1 {
+		t.Errorf("Attempts = %d, want 1", res.Attempts)
+	}
+	if m := e.Metrics(); m.BudgetExhausted["conflicts"] != 1 {
+		t.Errorf("BudgetExhausted[conflicts] = %d, want 1", m.BudgetExhausted["conflicts"])
+	}
+}

@@ -1,11 +1,11 @@
 package service
 
 import (
-	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 )
 
@@ -22,7 +22,9 @@ const maxRequestBody = 4 << 20
 //	POST /v1/witness     find a query witness trace
 //	POST /v1/synthesize  synthesize a workload
 //	GET  /v1/jobs/{id}   poll a job
-//	GET  /healthz        liveness
+//	GET  /healthz        readiness (alias of /healthz/ready)
+//	GET  /healthz/live   liveness: 200 while the process serves requests
+//	GET  /healthz/ready  readiness: 503 once draining or shut down
 //	GET  /metrics        Prometheus text (?format=json for a JSON snapshot)
 //
 // Analysis posts are synchronous by default: the handler waits for the
@@ -42,14 +44,25 @@ func NewHandler(e *Engine) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, viewOf(job))
 	})
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	// Liveness vs readiness: liveness answers "is the process able to
+	// serve HTTP at all" (restart me if not); readiness answers "should a
+	// balancer route new work here" and fails as soon as a drain begins,
+	// while in-flight jobs are still finishing. /healthz keeps its
+	// pre-split readiness semantics for existing probes.
+	ready := func(w http.ResponseWriter, r *http.Request) {
 		status := http.StatusOK
 		state := "ok"
-		if e.Closed() {
+		if !e.Ready() {
 			status = http.StatusServiceUnavailable
-			state = "shutting-down"
+			state = "draining"
+			w.Header().Set("Retry-After", strconv.Itoa(e.RetryAfter()))
 		}
 		writeJSON(w, status, map[string]any{"status": state, "queue_depth": len(e.queue)})
+	}
+	mux.HandleFunc("GET /healthz", ready)
+	mux.HandleFunc("GET /healthz/ready", ready)
+	mux.HandleFunc("GET /healthz/live", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"status": "alive"})
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		snap := e.Metrics()
@@ -76,11 +89,10 @@ func submitHandler(e *Engine, kind Kind) http.HandlerFunc {
 
 		job, err := e.Submit(&req)
 		switch {
-		case errors.Is(err, ErrQueueFull):
-			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusServiceUnavailable, err)
-			return
-		case errors.Is(err, ErrClosed):
+		case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDeadlineUnmeetable), errors.Is(err, ErrClosed):
+			// Shed load with a data-driven hint: queue backlog divided
+			// across the pool, priced at recent solve latency.
+			w.Header().Set("Retry-After", strconv.Itoa(e.RetryAfter()))
 			writeError(w, http.StatusServiceUnavailable, err)
 			return
 		case err != nil:
@@ -103,11 +115,18 @@ func submitHandler(e *Engine, kind Kind) http.HandlerFunc {
 			writeError(w, StatusClientClosedRequest, fmt.Errorf("request abandoned: %w", r.Context().Err()))
 			return
 		}
-		writeJSON(w, statusOf(e, job), viewOf(job))
+		status := statusOf(e, job)
+		if status == http.StatusServiceUnavailable {
+			w.Header().Set("Retry-After", strconv.Itoa(e.RetryAfter()))
+		}
+		writeJSON(w, status, viewOf(job))
 	}
 }
 
-// statusOf maps a terminal job to its HTTP status.
+// statusOf maps a terminal job to its HTTP status via the failure
+// taxonomy: deadline expiry is the gateway's timeout (504), an exhausted
+// transient failure (panic, portfolio disagreement) is the service's
+// fault (500), and everything else failing is the client's input (422).
 func statusOf(e *Engine, job *Job) int {
 	switch job.State() {
 	case StateDone:
@@ -121,8 +140,11 @@ func statusOf(e *Engine, job *Job) int {
 		return StatusClientClosedRequest
 	default: // StateFailed
 		_, err := job.Result()
-		if errors.Is(err, context.DeadlineExceeded) {
+		switch class, _ := classify(nil, err); class {
+		case failDeadline:
 			return http.StatusGatewayTimeout
+		case failTransient:
+			return http.StatusInternalServerError
 		}
 		return http.StatusUnprocessableEntity
 	}

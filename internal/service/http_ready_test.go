@@ -1,0 +1,69 @@
+package service
+
+import (
+	"net/http"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// TestHTTPLivenessReadinessSplit pins the probe split: liveness stays 200
+// through a drain (the process is healthy — restarting it would kill
+// in-flight jobs), while readiness flips to 503 the moment BeginDrain is
+// called so balancers stop routing new work here.
+func TestHTTPLivenessReadinessSplit(t *testing.T) {
+	e, srv := newTestServer(t, Config{Workers: 1})
+
+	get := func(path string) *http.Response {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+
+	for _, path := range []string{"/healthz", "/healthz/ready", "/healthz/live"} {
+		if resp := get(path); resp.StatusCode != http.StatusOK {
+			t.Errorf("%s before drain: %d, want 200", path, resp.StatusCode)
+		}
+	}
+
+	e.BeginDrain()
+	for _, path := range []string{"/healthz", "/healthz/ready"} {
+		resp := get(path)
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("%s during drain: %d, want 503", path, resp.StatusCode)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Errorf("%s during drain: missing Retry-After", path)
+		}
+	}
+	if resp := get("/healthz/live"); resp.StatusCode != http.StatusOK {
+		t.Errorf("/healthz/live during drain: %d, want 200 (draining is not dead)", resp.StatusCode)
+	}
+}
+
+// TestHTTPRetryAfterOn503 pins that every shed submission carries a
+// Retry-After hint derived from the latency EWMA and queue backlog.
+func TestHTTPRetryAfterOn503(t *testing.T) {
+	e, srv := newTestServer(t, Config{Workers: 1})
+
+	// Admission rejection: synthetic EWMA says witness takes 30s, so a
+	// 10ms deadline is unmeetable and the hint reflects the estimate.
+	e.admit.observe(KindWitness, 30*time.Second)
+	req := fqWitnessReq(2)
+	req.TimeoutMS = 10
+	resp, _ := postJSON(t, srv.URL+"/v1/witness", req)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("unmeetable deadline: %d, want 503", resp.StatusCode)
+	}
+	ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || ra < 1 {
+		t.Errorf("Retry-After = %q, want integer >= 1", resp.Header.Get("Retry-After"))
+	}
+	if m := e.Metrics(); m.AdmissionRejected != 1 {
+		t.Errorf("AdmissionRejected = %d, want 1", m.AdmissionRejected)
+	}
+}

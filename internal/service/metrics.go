@@ -26,7 +26,18 @@ type metrics struct {
 	completed atomic.Int64 // jobs that produced a conclusive or unknown result
 	failed    atomic.Int64 // jobs that errored (parse/type/compile errors, deadline)
 	canceled  atomic.Int64 // jobs aborted by explicit cancel or client abandonment
-	rejected  atomic.Int64 // submissions shed because the queue was full
+	rejected  atomic.Int64 // submissions shed (queue full or unmeetable deadline)
+
+	admissionRejected atomic.Int64 // subset of rejected: deadline-aware admission
+	degradedJobs      atomic.Int64 // retries that stepped down the degradation ladder
+
+	// Labeled failure-taxonomy counters: failure reasons, retry reasons
+	// and exhausted budget resources. One mutex guards all three maps;
+	// they are touched once per job outcome, not per solver step.
+	labMu     sync.Mutex
+	failedBy  map[string]int64 // reason  → jobs failed (deadline, input, panic, ...)
+	retriesBy map[string]int64 // reason  → retries attempted
+	budgetBy  map[string]int64 // resource → solves stopped by that budget
 
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
@@ -59,7 +70,33 @@ func newMetrics() *metrics {
 		latBuckets:  make([]int64, len(latencyBuckets)),
 		portWins:    make(map[string]int64),
 		portBuckets: make([]int64, len(latencyBuckets)),
+		failedBy:    make(map[string]int64),
+		retriesBy:   make(map[string]int64),
+		budgetBy:    make(map[string]int64),
 	}
+}
+
+// recordFailed counts one failed job under its taxonomy reason.
+func (m *metrics) recordFailed(reason string) {
+	m.failed.Add(1)
+	m.labMu.Lock()
+	m.failedBy[reason]++
+	m.labMu.Unlock()
+}
+
+// recordRetry counts one retry attempt under the transient reason that
+// triggered it.
+func (m *metrics) recordRetry(reason string) {
+	m.labMu.Lock()
+	m.retriesBy[reason]++
+	m.labMu.Unlock()
+}
+
+// recordBudget counts one solver run stopped by a resource budget.
+func (m *metrics) recordBudget(resource string) {
+	m.labMu.Lock()
+	m.budgetBy[resource]++
+	m.labMu.Unlock()
 }
 
 func (m *metrics) recordSubmit(kind Kind) {
@@ -118,6 +155,12 @@ type Snapshot struct {
 	JobsCanceled  int64            `json:"jobs_canceled"`
 	JobsRejected  int64            `json:"jobs_rejected"`
 
+	JobsFailedBy      map[string]int64 `json:"jobs_failed_by_reason,omitempty"`
+	JobRetries        map[string]int64 `json:"job_retries,omitempty"`
+	BudgetExhausted   map[string]int64 `json:"budget_exhausted,omitempty"`
+	JobsDegraded      int64            `json:"jobs_degraded"`
+	AdmissionRejected int64            `json:"admission_rejected"`
+
 	QueueDepth  int `json:"queue_depth"`
 	Workers     int `json:"workers"`
 	WorkersBusy int `json:"workers_busy"`
@@ -154,6 +197,9 @@ func (m *metrics) snapshot(queueDepth, workers, cacheEntries int) Snapshot {
 		JobsCanceled:  m.canceled.Load(),
 		JobsRejected:  m.rejected.Load(),
 
+		JobsDegraded:      m.degradedJobs.Load(),
+		AdmissionRejected: m.admissionRejected.Load(),
+
 		QueueDepth:  queueDepth,
 		Workers:     workers,
 		WorkersBusy: int(m.workersBusy.Load()),
@@ -172,6 +218,26 @@ func (m *metrics) snapshot(queueDepth, workers, cacheEntries int) Snapshot {
 	if total := s.CacheHits + s.CacheMisses; total > 0 {
 		s.CacheHitRate = float64(s.CacheHits) / float64(total)
 	}
+	m.labMu.Lock()
+	if len(m.failedBy) > 0 {
+		s.JobsFailedBy = make(map[string]int64, len(m.failedBy))
+		for k, v := range m.failedBy {
+			s.JobsFailedBy[k] = v
+		}
+	}
+	if len(m.retriesBy) > 0 {
+		s.JobRetries = make(map[string]int64, len(m.retriesBy))
+		for k, v := range m.retriesBy {
+			s.JobRetries[k] = v
+		}
+	}
+	if len(m.budgetBy) > 0 {
+		s.BudgetExhausted = make(map[string]int64, len(m.budgetBy))
+		for k, v := range m.budgetBy {
+			s.BudgetExhausted[k] = v
+		}
+	}
+	m.labMu.Unlock()
 	m.latMu.Lock()
 	s.SolveCount = m.latCount
 	s.SolveSecondsSum = float64(m.latSumNanos) / 1e9
@@ -213,10 +279,30 @@ func (s Snapshot) WritePrometheus(w io.Writer) {
 	for _, k := range kinds {
 		fmt.Fprintf(w, "buffy_jobs_submitted_total{kind=%q} %d\n", k, s.JobsSubmitted[k])
 	}
+	labeled := func(name, help, label string, by map[string]int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		keys := make([]string, 0, len(by))
+		for k := range by {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(w, "%s{%s=%q} %d\n", name, label, k, by[k])
+		}
+	}
+
 	counter("buffy_jobs_completed_total", "Jobs that finished with a result.", s.JobsCompleted)
-	counter("buffy_jobs_failed_total", "Jobs that failed (bad program, deadline).", s.JobsFailed)
+	counter("buffy_jobs_failed_total", "Jobs that failed (bad program, deadline, panic).", s.JobsFailed)
+	labeled("buffy_jobs_failed_reason_total", "Failed jobs by failure-taxonomy reason.",
+		"reason", s.JobsFailedBy)
 	counter("buffy_jobs_canceled_total", "Jobs aborted by cancellation.", s.JobsCanceled)
-	counter("buffy_jobs_rejected_total", "Submissions shed because the queue was full.", s.JobsRejected)
+	counter("buffy_jobs_rejected_total", "Submissions shed (queue full or unmeetable deadline).", s.JobsRejected)
+	counter("buffy_admission_rejected_total", "Submissions rejected by deadline-aware admission.", s.AdmissionRejected)
+	labeled("buffy_job_retries_total", "Transient-failure retries by reason.",
+		"reason", s.JobRetries)
+	labeled("buffy_budget_exhausted_total", "Solver runs stopped by a resource budget.",
+		"resource", s.BudgetExhausted)
+	counter("buffy_jobs_degraded_total", "Retries that stepped down the degradation ladder.", s.JobsDegraded)
 
 	gauge("buffy_queue_depth", "Jobs waiting for a worker.", float64(s.QueueDepth))
 	gauge("buffy_workers", "Configured worker pool size.", float64(s.Workers))

@@ -66,6 +66,12 @@ type Request struct {
 	ListCap         int `json:"list_cap,omitempty"`
 	// MaxConflicts bounds each solver call (0 = unlimited).
 	MaxConflicts int64 `json:"max_conflicts,omitempty"`
+	// MaxPropagations bounds each solver call's unit propagations — a
+	// deterministic CPU-effort proxy (0 = unlimited).
+	MaxPropagations int64 `json:"max_propagations,omitempty"`
+	// MaxLearntBytes bounds the learnt-clause database's estimated memory
+	// footprint per solver call (0 = unlimited).
+	MaxLearntBytes int64 `json:"max_learnt_bytes,omitempty"`
 	// TimeoutMS bounds the whole job's wall time; 0 uses the engine's
 	// default. The deadline aborts the in-flight CDCL search cooperatively.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
@@ -124,6 +130,12 @@ func (r *Request) Validate() error {
 	if r.MaxConflicts < 0 {
 		return fmt.Errorf("service: negative max_conflicts")
 	}
+	if r.MaxPropagations < 0 {
+		return fmt.Errorf("service: negative max_propagations")
+	}
+	if r.MaxLearntBytes < 0 {
+		return fmt.Errorf("service: negative max_learnt_bytes")
+	}
 	if r.TimeoutMS < 0 {
 		return fmt.Errorf("service: negative timeout_ms")
 	}
@@ -171,6 +183,8 @@ func (r *Request) analysis() core.Analysis {
 		MaxBytes:        r.MaxBytes,
 		ListCap:         r.ListCap,
 		MaxConflicts:    r.MaxConflicts,
+		MaxPropagations: r.MaxPropagations,
+		MaxLearntBytes:  r.MaxLearntBytes,
 		Timeout:         time.Duration(r.TimeoutMS) * time.Millisecond,
 		Search:          r.searchOptions(),
 		Portfolio:       r.Portfolio,
@@ -224,6 +238,8 @@ func (r *Request) CacheKey() string {
 	writeInt(int64(r.MaxBytes))
 	writeInt(int64(r.ListCap))
 	writeInt(r.MaxConflicts)
+	writeInt(r.MaxPropagations)
+	writeInt(r.MaxLearntBytes)
 	writeInt(int64(r.Portfolio))
 	writeInt(r.RestartBase)
 	writeBool(r.GeomRestarts)
@@ -264,6 +280,14 @@ type Result struct {
 	PortfolioWinner string `json:"portfolio_winner,omitempty"`
 	// CacheHit marks a response served from the result cache.
 	CacheHit bool `json:"cache_hit"`
+	// StopReason names which resource budget (or deadline/cancel) halted
+	// the search when Status is "unknown": "conflicts", "propagations",
+	// "learnt-bytes", "deadline" or "cancel".
+	StopReason string `json:"stop_reason,omitempty"`
+	// Attempts counts how many times the engine ran the analysis (1 = no
+	// retry); Degraded names the degradation step applied, if any.
+	Attempts int    `json:"attempts,omitempty"`
+	Degraded string `json:"degraded,omitempty"`
 }
 
 // conclusive reports whether the result is a definite answer worth
@@ -288,6 +312,7 @@ func resultFromCheck(kind Kind, r *smtbe.Result) *Result {
 		NumClauses: r.NumClauses,
 		NumVars:    r.NumVars,
 		DurationMS: r.Duration.Milliseconds(),
+		StopReason: r.Stop.String(),
 	}
 }
 

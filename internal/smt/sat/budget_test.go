@@ -1,0 +1,143 @@
+package sat
+
+import (
+	"testing"
+	"time"
+
+	"buffy/internal/smt/cnf"
+)
+
+// loadHardRandom3SAT fills s with a fixed-seed random 3-SAT instance at
+// the satisfiability threshold (clause/variable ratio ~4.26), where CDCL
+// search effort explodes: the instance is far beyond small budgets, so
+// budget-exhaustion paths can be exercised deterministically without
+// multi-second solves.
+func loadHardRandom3SAT(s *Solver, vars, clauses int, seed uint64) {
+	rnd := seed
+	next := func() uint64 {
+		rnd ^= rnd << 13
+		rnd ^= rnd >> 7
+		rnd ^= rnd << 17
+		return rnd
+	}
+	s.ImportVars(vars)
+	for i := 0; i < clauses; i++ {
+		var lits []cnf.Lit
+		used := map[int]bool{}
+		for len(lits) < 3 {
+			v := int(next()%uint64(vars)) + 1
+			if used[v] {
+				continue
+			}
+			used[v] = true
+			lits = append(lits, cnf.MkLit(cnf.Var(v), next()&1 == 0))
+		}
+		if !s.AddClause(lits...) {
+			return
+		}
+	}
+}
+
+// TestBudgetConflictsReturnsUnknownWithinBudget is the acceptance
+// scenario: an intractable query with a conflict budget returns Unknown
+// with StopReason StopConflicts after roughly the budgeted effort —
+// never hanging until a deadline.
+func TestBudgetConflictsReturnsUnknownWithinBudget(t *testing.T) {
+	s := New()
+	loadHardRandom3SAT(s, 300, 1278, 0x9e3779b97f4a7c15)
+	const budget = 500
+	before := s.Stats().Conflicts
+	start := time.Now()
+	got := s.SolveLimited(Limits{MaxConflicts: budget})
+	if got != Unknown {
+		t.Fatalf("status = %v, want Unknown (instance solved inside %d conflicts?)", got, budget)
+	}
+	if r := s.StopReason(); r != StopConflicts {
+		t.Fatalf("stop reason = %v, want conflicts", r)
+	}
+	spent := s.Stats().Conflicts - before
+	// The budget check runs every 64 search steps on both the decision and
+	// the conflict path, so overshoot is bounded by the check cadence.
+	if spent < budget || spent > budget+128 {
+		t.Errorf("spent %d conflicts, want within [%d, %d]", spent, budget, budget+128)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("budgeted solve took %v — budget did not bound the search", elapsed)
+	}
+}
+
+func TestBudgetPropagations(t *testing.T) {
+	s := New()
+	loadHardRandom3SAT(s, 300, 1278, 0x2545f4914f6cdd1d)
+	before := s.Stats().Propagations
+	if got := s.SolveLimited(Limits{MaxPropagations: 10_000}); got != Unknown {
+		t.Fatalf("status = %v, want Unknown", got)
+	}
+	if r := s.StopReason(); r != StopPropagations {
+		t.Fatalf("stop reason = %v, want propagations", r)
+	}
+	if spent := s.Stats().Propagations - before; spent < 10_000 {
+		t.Errorf("stopped after only %d propagations", spent)
+	}
+}
+
+func TestBudgetLearntBytes(t *testing.T) {
+	s := New()
+	loadHardRandom3SAT(s, 300, 1278, 0xdeadbeefcafef00d)
+	if got := s.SolveLimited(Limits{MaxLearntBytes: 4096}); got != Unknown {
+		t.Fatalf("status = %v, want Unknown", got)
+	}
+	if r := s.StopReason(); r != StopLearntBytes {
+		t.Fatalf("stop reason = %v, want learnt-bytes", r)
+	}
+	if got := s.LearntBytes(); got <= 4096 {
+		t.Errorf("learnt bytes %d under budget yet stopped", got)
+	}
+}
+
+// TestBudgetStopReasonResets pins that a conclusive solve clears the
+// previous Unknown's stop reason.
+func TestBudgetStopReasonResets(t *testing.T) {
+	s := New()
+	loadHardRandom3SAT(s, 300, 1278, 0x123456789abcdef1)
+	if got := s.SolveLimited(Limits{MaxConflicts: 100}); got != Unknown {
+		t.Fatalf("first solve = %v, want Unknown", got)
+	}
+	if s.StopReason() == StopNone {
+		t.Fatal("stop reason missing after budget exhaustion")
+	}
+	easy := New()
+	a, b := easy.NewVar(), easy.NewVar()
+	easy.AddClause(cnf.MkLit(a, false), cnf.MkLit(b, false))
+	if got := easy.SolveLimited(Limits{MaxConflicts: 100}); got != Sat {
+		t.Fatalf("easy solve = %v, want Sat", got)
+	}
+	if r := easy.StopReason(); r != StopNone {
+		t.Errorf("stop reason = %v after Sat, want none", r)
+	}
+	// Re-solving the hard instance with a budget resets and re-records.
+	if got := s.SolveLimited(Limits{MaxConflicts: 100}); got != Unknown {
+		t.Fatalf("re-solve = %v, want Unknown", got)
+	}
+	if r := s.StopReason(); r != StopConflicts {
+		t.Errorf("re-solve stop reason = %v, want conflicts", r)
+	}
+}
+
+func TestStopReasonStrings(t *testing.T) {
+	cases := map[StopReason]string{
+		StopNone: "", StopConflicts: "conflicts", StopPropagations: "propagations",
+		StopLearntBytes: "learnt-bytes", StopDeadline: "deadline", StopCancel: "cancel",
+	}
+	for r, want := range cases {
+		if r.String() != want {
+			t.Errorf("%d.String() = %q, want %q", r, r.String(), want)
+		}
+	}
+	if StopDeadline.Budget() || StopCancel.Budget() || StopNone.Budget() {
+		t.Error("deadline/cancel/none must not classify as budget exhaustion")
+	}
+	if !StopConflicts.Budget() || !StopPropagations.Budget() || !StopLearntBytes.Budget() {
+		t.Error("resource limits must classify as budget exhaustion")
+	}
+}

@@ -68,7 +68,9 @@ type watcher struct {
 	blocker cnf.Lit
 }
 
-// Stats records search effort counters.
+// Stats records search effort counters. LearntBytes is the estimated
+// memory held by the learnt-clause database at the time Stats was read
+// (a gauge, unlike the cumulative counters).
 type Stats struct {
 	Conflicts    int64
 	Decisions    int64
@@ -76,12 +78,65 @@ type Stats struct {
 	Restarts     int64
 	Learnt       int64
 	Removed      int64
+	LearntBytes  int64
+}
+
+// StopReason explains why a Solve call returned Unknown: which resource
+// budget was exhausted, or that the caller cancelled. StopNone means the
+// last solve was conclusive (or none has run).
+type StopReason int
+
+// Stop reasons, in the order the budget check tests them.
+const (
+	StopNone StopReason = iota
+	// StopConflicts: Limits.MaxConflicts exhausted.
+	StopConflicts
+	// StopPropagations: Limits.MaxPropagations exhausted.
+	StopPropagations
+	// StopLearntBytes: the learnt-clause database outgrew
+	// Limits.MaxLearntBytes.
+	StopLearntBytes
+	// StopDeadline: Limits.Deadline passed.
+	StopDeadline
+	// StopCancel: Limits.Cancel became readable.
+	StopCancel
+)
+
+func (r StopReason) String() string {
+	switch r {
+	case StopConflicts:
+		return "conflicts"
+	case StopPropagations:
+		return "propagations"
+	case StopLearntBytes:
+		return "learnt-bytes"
+	case StopDeadline:
+		return "deadline"
+	case StopCancel:
+		return "cancel"
+	}
+	return ""
+}
+
+// Budget reports whether the stop reason is a resource budget (retryable
+// with a bigger budget), as opposed to a deadline or cancellation.
+func (r StopReason) Budget() bool {
+	return r == StopConflicts || r == StopPropagations || r == StopLearntBytes
 }
 
 // Limits bounds a Solve call. Zero values mean unlimited.
 type Limits struct {
+	// MaxConflicts bounds CDCL conflicts for this call.
 	MaxConflicts int64
-	Deadline     time.Time
+	// MaxPropagations bounds unit propagations for this call. Propagation
+	// dominates solver wall time, so this is the closest proxy for a CPU
+	// budget that stays deterministic across machines.
+	MaxPropagations int64
+	// MaxLearntBytes bounds the estimated memory held by the learnt-clause
+	// database. When learning outruns reduction past this budget the solve
+	// gives up instead of growing without bound.
+	MaxLearntBytes int64
+	Deadline       time.Time
 	// Cancel aborts the search cooperatively when it becomes readable
 	// (typically a context's Done channel). The solver polls it on the
 	// same amortized cadence as MaxConflicts, so Solve returns Unknown
@@ -132,6 +187,10 @@ type Solver struct {
 	rndState uint64 // xorshift state for random branching (0 = disabled)
 
 	stats Stats
+	// learntBytes estimates the learnt-DB footprint; stopReason records
+	// why the last SolveLimited returned Unknown (StopNone otherwise).
+	learntBytes int64
+	stopReason  StopReason
 
 	// debug enables expensive internal invariant checking after every
 	// propagation fixpoint; used by fuzz-style tests.
@@ -476,6 +535,11 @@ func (s *Solver) bumpClause(c *clause) {
 
 func (s *Solver) decayClause() { s.claInc /= float32(s.opts.ClauseDecay) }
 
+// clauseBytes estimates a learnt clause's heap footprint: the clause
+// struct + slice header plus 4 bytes per literal, rounded up for the two
+// watcher entries referencing it.
+func clauseBytes(c *clause) int64 { return 64 + 4*int64(len(c.lits)) }
+
 // --- conflict analysis ---
 
 // analyze performs first-UIP learning. It returns the learnt clause (with
@@ -722,6 +786,7 @@ func (s *Solver) reduceDB() {
 		}
 		removed[c] = true
 		s.stats.Removed++
+		s.learntBytes -= clauseBytes(c)
 	}
 	if len(removed) == 0 {
 		return
@@ -752,13 +817,31 @@ func (s *Solver) Solve(assumptions ...cnf.Lit) Status {
 	return s.SolveLimited(Limits{}, assumptions...)
 }
 
+// budgetStop reports which (if any) of the call's resource budgets is
+// exhausted; deadline and cancellation are checked separately because
+// they poll the clock / a channel rather than counters.
+func (s *Solver) budgetStop(lim Limits, conflicts0, props0 int64) StopReason {
+	if lim.MaxConflicts > 0 && s.stats.Conflicts-conflicts0 > lim.MaxConflicts {
+		return StopConflicts
+	}
+	if lim.MaxPropagations > 0 && s.stats.Propagations-props0 > lim.MaxPropagations {
+		return StopPropagations
+	}
+	if lim.MaxLearntBytes > 0 && s.learntBytes > lim.MaxLearntBytes {
+		return StopLearntBytes
+	}
+	return StopNone
+}
+
 // SolveLimited is Solve with a resource budget; it returns Unknown when the
-// budget is exhausted.
+// budget is exhausted, with StopReason() recording which limit fired.
 func (s *Solver) SolveLimited(lim Limits, assumptions ...cnf.Lit) Status {
 	if !s.ok {
 		return Unsat
 	}
+	s.stopReason = StopNone
 	if lim.cancelled() {
+		s.stopReason = StopCancel
 		return Unknown
 	}
 	s.backtrackTo(0)
@@ -775,6 +858,7 @@ func (s *Solver) SolveLimited(lim Limits, assumptions ...cnf.Lit) Status {
 
 	restartBase := s.opts.RestartBase
 	conflictsAtStart := s.stats.Conflicts
+	propsAtStart := s.stats.Propagations
 	var curRestart int64 = 0
 	geomInterval := float64(restartBase)
 	nextRestart := s.stats.Conflicts + s.restartInterval(restartBase, curRestart, geomInterval)
@@ -789,10 +873,25 @@ func (s *Solver) SolveLimited(lim Limits, assumptions ...cnf.Lit) Status {
 		if confl != nil {
 			s.stats.Conflicts++
 			// Conflict storms bypass the decision-path budget check below,
-			// so poll the cancel channel here too (same 64-step cadence).
-			if s.stats.Conflicts&63 == 0 && lim.cancelled() {
-				s.backtrackTo(0)
-				return Unknown
+			// so run the full budget/cancel check here too (same 64-step
+			// cadence) — a pathological instance can burn its whole budget
+			// without ever reaching a decision.
+			if s.stats.Conflicts&63 == 0 {
+				if r := s.budgetStop(lim, conflictsAtStart, propsAtStart); r != StopNone {
+					s.stopReason = r
+					s.backtrackTo(0)
+					return Unknown
+				}
+				if lim.cancelled() {
+					s.stopReason = StopCancel
+					s.backtrackTo(0)
+					return Unknown
+				}
+				if !lim.Deadline.IsZero() && s.stats.Conflicts&1023 == 0 && time.Now().After(lim.Deadline) {
+					s.stopReason = StopDeadline
+					s.backtrackTo(0)
+					return Unknown
+				}
 			}
 			if s.decisionLevel() == 0 {
 				s.ok = false
@@ -810,6 +909,7 @@ func (s *Solver) SolveLimited(lim Limits, assumptions ...cnf.Lit) Status {
 				c := &clause{lits: learnt, learnt: true, lbd: s.computeLBD(learnt)}
 				s.learnts = append(s.learnts, c)
 				s.stats.Learnt++
+				s.learntBytes += clauseBytes(c)
 				s.attach(c)
 				s.bumpClause(c)
 				s.uncheckedEnqueue(learnt[0], c)
@@ -822,15 +922,18 @@ func (s *Solver) SolveLimited(lim Limits, assumptions ...cnf.Lit) Status {
 		// Budget check (amortized).
 		checkTick++
 		if checkTick&63 == 0 {
-			if lim.MaxConflicts > 0 && s.stats.Conflicts-conflictsAtStart > lim.MaxConflicts {
+			if r := s.budgetStop(lim, conflictsAtStart, propsAtStart); r != StopNone {
+				s.stopReason = r
 				s.backtrackTo(0)
 				return Unknown
 			}
 			if lim.cancelled() {
+				s.stopReason = StopCancel
 				s.backtrackTo(0)
 				return Unknown
 			}
 			if !lim.Deadline.IsZero() && checkTick&1023 == 0 && time.Now().After(lim.Deadline) {
+				s.stopReason = StopDeadline
 				s.backtrackTo(0)
 				return Unknown
 			}
@@ -899,8 +1002,20 @@ func (s *Solver) Value(v cnf.Var) bool { return s.assign[v] == lTrue }
 // LitTrue reports whether literal l is true in the model.
 func (s *Solver) LitTrue(l cnf.Lit) bool { return s.litValue(l) == lTrue }
 
-// Stats returns search statistics.
-func (s *Solver) Stats() Stats { return s.stats }
+// Stats returns search statistics, with the current learnt-DB footprint
+// estimate folded in.
+func (s *Solver) Stats() Stats {
+	st := s.stats
+	st.LearntBytes = s.learntBytes
+	return st
+}
+
+// StopReason reports why the last SolveLimited returned Unknown
+// (StopNone after a conclusive answer).
+func (s *Solver) StopReason() StopReason { return s.stopReason }
+
+// LearntBytes returns the estimated learnt-clause database footprint.
+func (s *Solver) LearntBytes() int64 { return s.learntBytes }
 
 // NumClauses returns the problem clause count (excluding learnt clauses).
 func (s *Solver) NumClauses() int { return len(s.clauses) }

@@ -47,6 +47,12 @@ type Options struct {
 	Width int
 	// MaxConflicts bounds each Check; zero means unlimited.
 	MaxConflicts int64
+	// MaxPropagations bounds each Check's unit propagations (the closest
+	// deterministic proxy for a CPU budget); zero means unlimited.
+	MaxPropagations int64
+	// MaxLearntBytes bounds the estimated learnt-clause memory per Check;
+	// zero means unlimited.
+	MaxLearntBytes int64
 	// Timeout bounds each Check's wall time; zero means unlimited.
 	Timeout time.Duration
 	// Search configures the CDCL heuristics (restart schedule, VSIDS
@@ -174,7 +180,12 @@ func (s *Solver) checkAssuming(ctx context.Context, snapshot bool, assumptions .
 		}
 		lits = append(lits, s.bl.Bool(a))
 	}
-	lim := sat.Limits{MaxConflicts: s.opts.MaxConflicts, Cancel: ctx.Done()}
+	lim := sat.Limits{
+		MaxConflicts:    s.opts.MaxConflicts,
+		MaxPropagations: s.opts.MaxPropagations,
+		MaxLearntBytes:  s.opts.MaxLearntBytes,
+		Cancel:          ctx.Done(),
+	}
 	if s.opts.Timeout > 0 {
 		lim.Deadline = time.Now().Add(s.opts.Timeout)
 	}
@@ -231,6 +242,10 @@ func (s *Solver) Model() term.Assignment { return s.model }
 
 // Stats returns the underlying SAT search statistics.
 func (s *Solver) Stats() sat.Stats { return s.sat.Stats() }
+
+// StopReason reports why the last Check returned Unknown (which resource
+// budget fired, the deadline, or cancellation); sat.StopNone otherwise.
+func (s *Solver) StopReason() sat.StopReason { return s.sat.StopReason() }
 
 // NumClauses returns the number of problem clauses blasted so far.
 func (s *Solver) NumClauses() int { return s.sat.NumClauses() }
