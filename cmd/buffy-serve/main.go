@@ -1,14 +1,21 @@
 // Command buffy-serve runs Buffy as a long-lived analysis service: an
 // HTTP JSON API in front of the internal/service job engine, with a
 // bounded worker pool, a content-addressed result cache, per-job
-// deadlines and graceful drain on SIGINT/SIGTERM.
+// deadlines, span tracing, structured logs and graceful drain on
+// SIGINT/SIGTERM.
 //
 //	buffy-serve -addr :8080 -workers 8 -queue 128 -cache 512 -timeout 60s
 //
 //	curl -s localhost:8080/v1/witness -d '{"source":"...", "t":6, "params":{"N":3}}'
 //	curl -s localhost:8080/v1/verify?async=1 -d @req.json   # 202 + job ID
 //	curl -s localhost:8080/v1/jobs/j00000001
+//	curl -s localhost:8080/v1/jobs/j00000001/trace          # span tree
+//	curl -s localhost:8080/v1/jobs/j00000001/progress       # live solver effort
+//	curl -s localhost:8080/v1/traces                        # recent traces
 //	curl -s localhost:8080/metrics
+//
+// Profiling is opt-in: -pprof-addr 127.0.0.1:6060 serves net/http/pprof
+// on a separate listener (keep it off the public address).
 package main
 
 import (
@@ -16,8 +23,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -35,10 +43,21 @@ func main() {
 	drain := flag.Duration("drain", 30*time.Second, "graceful drain budget on shutdown")
 	retries := flag.Int("retries", 1, "max retries for transient failures (budget exhaustion, panic, disagreement)")
 	backoff := flag.Duration("retry-backoff", 50*time.Millisecond, "initial retry backoff (doubles per attempt)")
+	traceSpans := flag.Int("trace-spans", 0, "max spans per job trace (0 default, <0 disables tracing)")
+	traceKeep := flag.Int("trace-retention", 128, "finished traces kept for /v1/traces")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty disables)")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: buffy-serve [flags]")
 		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	logger, err := newLogger(*logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "buffy-serve: %v\n", err)
 		os.Exit(2)
 	}
 
@@ -49,20 +68,42 @@ func main() {
 		DefaultTimeout: *timeout,
 		MaxRetries:     *retries,
 		RetryBackoff:   *backoff,
+		Logger:         logger,
+		TraceSpans:     *traceSpans,
+		TraceRetention: *traceKeep,
 	})
-	server := &http.Server{Addr: *addr, Handler: service.NewHandler(engine)}
+	handler := service.WithRequestLogging(logger, service.NewHandler(engine))
+	server := &http.Server{Addr: *addr, Handler: handler}
+
+	if *pprofAddr != "" {
+		// pprof gets its own mux on its own listener so profiling is never
+		// reachable through the public API address.
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			logger.Info("pprof listening", "addr", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, pmux); err != nil {
+				logger.Error("pprof server failed", "err", err.Error())
+			}
+		}()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	errc := make(chan error, 1)
 	go func() { errc <- server.ListenAndServe() }()
-	log.Printf("buffy-serve listening on %s (workers=%d queue=%d cache=%d timeout=%v)",
-		*addr, *workers, *queue, *cacheN, *timeout)
+	logger.Info("buffy-serve listening", "addr", *addr, "version", service.Version,
+		"workers", *workers, "queue", *queue, "cache", *cacheN, "timeout", timeout.String())
 
 	select {
 	case err := <-errc:
-		log.Fatalf("buffy-serve: %v", err)
+		logger.Error("server failed", "err", err.Error())
+		os.Exit(1)
 	case <-ctx.Done():
 	}
 
@@ -72,18 +113,44 @@ func main() {
 	// answers 200, in-flight synchronous handlers finish, new submits get
 	// 503 + Retry-After — and only then take the listener down.
 	engine.BeginDrain()
-	log.Printf("buffy-serve: draining (budget %v)...", *drain)
+	logger.Info("draining", "budget", drain.String())
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := engine.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.Canceled) {
-		log.Printf("buffy-serve: engine drain: %v", err)
+		logger.Warn("engine drain incomplete", "err", err.Error())
 	}
 	// Engine drained (or force-cancelled at the budget): flush remaining
 	// handlers — including the 503s a forced drain wakes — and exit.
 	flushCtx, flushCancel := context.WithTimeout(context.Background(), 2*time.Second)
 	defer flushCancel()
 	if err := server.Shutdown(flushCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Printf("buffy-serve: connection flush: %v", err)
+		logger.Warn("connection flush failed", "err", err.Error())
 	}
-	log.Printf("buffy-serve: bye")
+	logger.Info("bye")
+}
+
+// newLogger builds the process logger from the -log-format/-log-level
+// flags. Logs go to stderr, keeping stdout clean for tooling.
+func newLogger(format, level string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch level {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown log level %q", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	}
+	return nil, fmt.Errorf("unknown log format %q", format)
 }

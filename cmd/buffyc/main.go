@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +23,7 @@ import (
 	"buffy/internal/core"
 	"buffy/internal/lang/ast"
 	"buffy/internal/portfolio"
+	"buffy/internal/telemetry"
 	"buffy/internal/workload"
 )
 
@@ -52,6 +54,7 @@ func main() {
 	cap := flag.Int("cap", 0, "buffer capacity (default 8)")
 	planOut := flag.String("trace-out", "", "save the discovered trace as a replayable arrival plan (JSON)")
 	stats := flag.Bool("stats", false, "print solver effort statistics (conflicts, decisions, propagations)")
+	showTrace := flag.Bool("trace", false, "record a span trace of the analysis pipeline and print the tree (parse, compile, bitblast, search)")
 	nPortfolio := flag.Int("portfolio", 0, "race N diversified solver configs, first conclusive answer wins (verify/witness; 0 = single solver)")
 	maxConflicts := flag.Int64("max-conflicts", 0, "per-solve conflict budget (0 = unlimited; exhaustion reports unknown)")
 	maxProps := flag.Int64("max-propagations", 0, "per-solve propagation budget, a CPU-effort proxy (0 = unlimited)")
@@ -68,7 +71,19 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+
+	// With -trace, every pipeline layer records spans into tr; the tree is
+	// printed after the analysis (see printTrace).
+	ctx := context.Background()
+	var tr *telemetry.Trace
+	if *showTrace {
+		tr = telemetry.NewTraceN(flag.Arg(0), 4096)
+		ctx = telemetry.WithTrace(ctx, tr)
+	}
+
+	_, psp := telemetry.StartSpan(ctx, "parse")
 	prog, err := core.Parse(string(src))
+	psp.End()
 	if err != nil {
 		fatal(err)
 	}
@@ -86,10 +101,11 @@ func main() {
 	switch *mode {
 	case "verify":
 		if a.Portfolio > 1 {
-			runPortfolio(prog, a, false, *stats, *planOut)
+			runPortfolio(ctx, prog, a, false, *stats, *planOut)
+			printTrace(tr)
 			return
 		}
-		res, err := prog.Verify(a)
+		res, err := prog.VerifyContext(ctx, a)
 		if err != nil {
 			fatal(err)
 		}
@@ -102,10 +118,11 @@ func main() {
 		}
 	case "witness":
 		if a.Portfolio > 1 {
-			runPortfolio(prog, a, true, *stats, *planOut)
+			runPortfolio(ctx, prog, a, true, *stats, *planOut)
+			printTrace(tr)
 			return
 		}
-		res, err := prog.FindWitness(a)
+		res, err := prog.FindWitnessContext(ctx, a)
 		if err != nil {
 			fatal(err)
 		}
@@ -123,7 +140,7 @@ func main() {
 			}
 		}
 	case "synth":
-		res, err := prog.SynthesizeWorkload(a)
+		res, err := prog.SynthesizeWorkloadContext(ctx, a)
 		if err != nil {
 			fatal(err)
 		}
@@ -180,6 +197,16 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown mode %q", *mode))
 	}
+	printTrace(tr)
+}
+
+// printTrace renders the recorded span tree after the analysis output (a
+// no-op without -trace).
+func printTrace(tr *telemetry.Trace) {
+	if tr == nil {
+		return
+	}
+	fmt.Print(tr.Snapshot().Render())
 }
 
 func missingParams(p *core.Program, have map[string]int64) []string {
@@ -195,13 +222,13 @@ func missingParams(p *core.Program, have map[string]int64) []string {
 // runPortfolio races -portfolio diversified solver configurations on a
 // verify or witness query, reporting the winning configuration and each
 // config's search effort before rendering the winner's trace as usual.
-func runPortfolio(prog *core.Program, a core.Analysis, witness, stats bool, planOut string) {
+func runPortfolio(ctx context.Context, prog *core.Program, a core.Analysis, witness, stats bool, planOut string) {
 	var pr *portfolio.Result
 	var err error
 	if witness {
-		pr, err = prog.FindWitnessPortfolio(a)
+		pr, err = prog.FindWitnessPortfolioContext(ctx, a)
 	} else {
-		pr, err = prog.VerifyPortfolio(a)
+		pr, err = prog.VerifyPortfolioContext(ctx, a)
 	}
 	if err != nil {
 		fatal(err)

@@ -31,6 +31,7 @@ import (
 	"buffy/internal/lang/typecheck"
 	"buffy/internal/smt/solver"
 	"buffy/internal/smt/term"
+	"buffy/internal/telemetry"
 )
 
 // Op is an atom's comparison operator.
@@ -113,6 +114,14 @@ func Synthesize(info *typecheck.Info, opts Options) (*Result, error) {
 // returns ctx.Err().
 func SynthesizeContext(ctx context.Context, info *typecheck.Info, opts Options) (*Result, error) {
 	start := time.Now()
+	ctx, ssp := telemetry.StartSpan(ctx, "synthesize")
+	res := &Result{}
+	defer func() {
+		ssp.SetAttrs(
+			telemetry.Int("checks", int64(res.Checks)),
+			telemetry.Bool("found", res.Found))
+		ssp.End()
+	}()
 	sv := solver.New(opts.Solver)
 	c, err := ir.CompileContext(ctx, info, sv.Builder(), opts.IR)
 	if err != nil {
@@ -129,14 +138,19 @@ func SynthesizeContext(ctx context.Context, info *typecheck.Info, opts Options) 
 	}
 	b := sv.Builder()
 	holds := b.And(c.AssertHolds(), c.AssertReached())
-	res := &Result{Compiled: c}
+	res.Compiled = c
 
 	// check runs one solver query and reports whether it came back with the
 	// wanted outcome. Unknown without a cancelled context means the conflict
 	// budget ran out: the overall answer is then inconclusive, not definite.
 	check := func(t *term.Term, want solver.Result) bool {
 		res.Checks++
-		out := sv.CheckAssumingContext(ctx, t)
+		cctx, csp := telemetry.StartSpan(ctx, "fperf.check")
+		out := sv.CheckAssumingContext(cctx, t)
+		csp.SetAttrs(
+			telemetry.Int("n", int64(res.Checks)),
+			telemetry.String("result", out.String()))
+		csp.End()
 		if out == solver.Unknown && ctx.Err() == nil {
 			res.Inconclusive = true
 		}

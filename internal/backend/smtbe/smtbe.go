@@ -29,6 +29,7 @@ import (
 	"buffy/internal/smt/sat"
 	"buffy/internal/smt/solver"
 	"buffy/internal/smt/term"
+	"buffy/internal/telemetry"
 )
 
 // Mode selects the query direction.
@@ -195,18 +196,22 @@ type Encoded struct {
 // EncodeContext compiles the program and asserts the query constraints,
 // stopping just before the solve.
 func EncodeContext(ctx context.Context, info *typecheck.Info, opts Options) (*Encoded, error) {
+	ectx, esp := telemetry.StartSpan(ctx, "encode")
+	defer esp.End()
 	s := solver.New(opts.Solver)
-	c, err := ir.CompileContext(ctx, info, s.Builder(), opts.IR)
+	c, err := ir.CompileContext(ectx, info, s.Builder(), opts.IR)
 	if err != nil {
 		return nil, err
 	}
 	if len(c.Asserts) == 0 {
 		return nil, fmt.Errorf("smtbe: program %s has no assert() — nothing to check", info.Prog.Name)
 	}
+	_, bsp := telemetry.StartSpan(ectx, "bitblast")
 	for _, a := range c.Assumes {
 		// Bit-blasting large assumes is part of the heavy encode path;
 		// keep cancellation responsive through it too.
 		if err := ctx.Err(); err != nil {
+			bsp.End()
 			return nil, err
 		}
 		s.Assert(a)
@@ -221,6 +226,10 @@ func EncodeContext(ctx context.Context, info *typecheck.Info, opts Options) (*En
 		s.Assert(c.AssertHolds())
 		s.Assert(c.AssertReached())
 	}
+	bsp.SetAttrs(
+		telemetry.Int("clauses", int64(s.NumClauses())),
+		telemetry.Int("vars", int64(s.NumVars())))
+	bsp.End()
 	return &Encoded{Mode: opts.Mode, C: c, S: s}, nil
 }
 

@@ -111,6 +111,11 @@ type Analysis struct {
 	// VerifyPortfolio / FindWitnessPortfolio). 0 or 1 means a single
 	// solver; plain Verify/FindWitness ignore the field.
 	Portfolio int
+	// Progress, when non-nil, receives live CDCL search counters from
+	// every solver call made on behalf of this analysis (all portfolio
+	// configs and fperf checks included), pollable while the analysis
+	// runs. See sat.Progress.
+	Progress *sat.Progress
 	// K is the induction depth for ProveForAllHorizons (default 1).
 	K int
 }
@@ -137,7 +142,7 @@ func (a Analysis) solverOptions() solver.Options {
 	return solver.Options{
 		Width: a.Width, MaxConflicts: a.MaxConflicts,
 		MaxPropagations: a.MaxPropagations, MaxLearntBytes: a.MaxLearntBytes,
-		Timeout: a.Timeout, Search: a.Search,
+		Timeout: a.Timeout, Search: a.Search, Progress: a.Progress,
 	}
 }
 

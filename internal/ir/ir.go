@@ -25,6 +25,7 @@ import (
 	"buffy/internal/buffer"
 	"buffy/internal/lang/typecheck"
 	"buffy/internal/smt/term"
+	"buffy/internal/telemetry"
 )
 
 // Options configures compilation.
@@ -211,6 +212,8 @@ func Compile(info *typecheck.Info, b *term.Builder, opts Options) (*Compiled, er
 // compilation (the dominant cost at large horizons) aborts promptly
 // instead of running to completion for an abandoned analysis.
 func CompileContext(ctx context.Context, info *typecheck.Info, b *term.Builder, opts Options) (*Compiled, error) {
+	_, span := telemetry.StartSpan(ctx, "compile")
+	defer span.End()
 	m, err := NewMachine(info, b, opts)
 	if err != nil {
 		return nil, err
@@ -223,6 +226,7 @@ func CompileContext(ctx context.Context, info *typecheck.Info, b *term.Builder, 
 			return nil, err
 		}
 	}
+	span.SetAttrs(telemetry.Int("steps", int64(m.opts.T)))
 	return m.Result(), nil
 }
 

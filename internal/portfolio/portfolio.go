@@ -27,6 +27,7 @@ import (
 	"buffy/internal/backend/smtbe"
 	"buffy/internal/lang/typecheck"
 	"buffy/internal/smt/sat"
+	"buffy/internal/telemetry"
 )
 
 // ErrDisagreement means two configurations both reached a conclusive
@@ -129,13 +130,21 @@ func CheckContext(ctx context.Context, info *typecheck.Info, opts Options) (*Res
 		res *smtbe.Result
 		err error
 		dur time.Duration
+		sp  *telemetry.Span
 	}
 	ch := make(chan outcome, len(cfgs))
 	for i, cfg := range cfgs {
 		go func(i int, cfg Config) {
 			t0 := time.Now()
-			res, err := runOne(runCtx, enc, cfg)
-			ch <- outcome{i, res, err, time.Since(t0)}
+			cctx, sp := telemetry.StartSpan(runCtx, "portfolio:"+cfg.Name)
+			res, err := runOne(cctx, enc, cfg)
+			if sp != nil && res != nil {
+				sp.SetAttrs(
+					telemetry.String("status", res.Status.String()),
+					telemetry.Int("conflicts", res.SatStats.Conflicts))
+			}
+			sp.End()
+			ch <- outcome{i, res, err, time.Since(t0), sp}
 		}(i, cfg)
 	}
 
@@ -171,6 +180,9 @@ func CheckContext(ctx context.Context, info *typecheck.Info, opts Options) (*Res
 	}
 
 	if winner >= 0 {
+		// Annotate the winning config's span after the race settles
+		// (SetAttrs on an ended span is allowed for exactly this).
+		outs[winner].sp.SetAttrs(telemetry.Bool("winner", true))
 		pr := &Result{
 			Result:    outs[winner].res,
 			Winner:    cfgs[winner].Name,

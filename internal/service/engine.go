@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"math"
 	"runtime"
 	"strings"
@@ -13,6 +15,8 @@ import (
 
 	"buffy/internal/core"
 	"buffy/internal/faultinject"
+	"buffy/internal/smt/sat"
+	"buffy/internal/telemetry"
 )
 
 // Submission errors.
@@ -56,6 +60,12 @@ type Job struct {
 	cancel context.CancelFunc
 	done   chan struct{}
 
+	// trace and progress are created with the job and immutable after:
+	// readers poll them concurrently with the solve (both types are
+	// internally synchronized). Cache-hit jobs carry neither.
+	trace    *telemetry.Trace
+	progress *sat.Progress
+
 	mu        sync.Mutex
 	state     State
 	result    *Result
@@ -64,6 +74,14 @@ type Job struct {
 	started   time.Time
 	finished  time.Time
 }
+
+// Trace returns the job's span trace (nil for cache-hit jobs). Safe to
+// snapshot while the job runs.
+func (j *Job) Trace() *telemetry.Trace { return j.trace }
+
+// Progress returns the job's live solver-effort counters (nil for
+// cache-hit jobs). Safe to poll while the job runs.
+func (j *Job) Progress() *sat.Progress { return j.progress }
 
 // State returns the job's current lifecycle phase.
 func (j *Job) State() State {
@@ -188,6 +206,14 @@ type Config struct {
 	// RetryBackoff is the delay before the first retry, doubling per
 	// attempt (default 50ms).
 	RetryBackoff time.Duration
+	// Logger receives structured job-lifecycle logs (default: discard).
+	Logger *slog.Logger
+	// TraceSpans bounds each job trace's span count (default
+	// telemetry.DefaultMaxSpans; negative disables tracing).
+	TraceSpans int
+	// TraceRetention caps how many finished traces stay browsable via
+	// /v1/traces after their jobs are pruned (default 128).
+	TraceRetention int
 }
 
 func (c Config) withDefaults() Config {
@@ -212,17 +238,28 @@ func (c Config) withDefaults() Config {
 	if c.RetryBackoff <= 0 {
 		c.RetryBackoff = 50 * time.Millisecond
 	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	if c.TraceSpans == 0 {
+		c.TraceSpans = telemetry.DefaultMaxSpans
+	}
+	if c.TraceRetention <= 0 {
+		c.TraceRetention = 128
+	}
 	return c
 }
 
 // Engine is the analysis job engine: a bounded queue feeding a worker
 // pool, fronted by a content-addressed result cache.
 type Engine struct {
-	cfg   Config
-	queue chan *Job
-	cache *cache
-	met   *metrics
-	admit *admission
+	cfg    Config
+	queue  chan *Job
+	cache  *cache
+	met    *metrics
+	admit  *admission
+	log    *slog.Logger
+	traces *traceRing
 
 	draining atomic.Bool
 
@@ -248,6 +285,8 @@ func New(cfg Config) *Engine {
 		cache:      newCache(cfg.CacheEntries),
 		met:        newMetrics(),
 		admit:      newAdmission(),
+		log:        cfg.Logger,
+		traces:     newTraceRing(cfg.TraceRetention),
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		jobs:       make(map[string]*Job),
@@ -277,6 +316,9 @@ func (e *Engine) Submit(req *Request) (*Job, error) {
 		e.met.recordSubmit(req.Kind)
 		e.met.cacheHits.Add(1)
 		job := e.newJobLocked(req)
+		// A cache hit never runs the pipeline: no spans to record, no
+		// live progress to poll.
+		job.trace, job.progress = nil, nil
 		// Shallow copy: the trace/workload payload is shared (immutable),
 		// only the per-response CacheHit stamp differs.
 		res := *cached
@@ -340,6 +382,10 @@ func (e *Engine) newJobLocked(req *Request) *Job {
 		done:      make(chan struct{}),
 		state:     StateQueued,
 		submitted: time.Now(),
+	}
+	if e.cfg.TraceSpans > 0 {
+		job.trace = telemetry.NewTraceN(job.ID, e.cfg.TraceSpans)
+		job.progress = &sat.Progress{}
 	}
 	e.jobs[job.ID] = job
 	return job
@@ -446,6 +492,12 @@ func (e *Engine) runJob(job *Job) {
 	}
 	faultinject.WithCancel(faultinject.PointCancelStorm, job.cancel)
 
+	log := e.log.With("job", job.ID, "kind", string(job.Req.Kind), "trace", job.trace.ID())
+	log.Info("job started", "queued_ms", time.Since(job.submitted).Milliseconds())
+
+	ctx = telemetry.WithTrace(ctx, job.trace)
+	ctx, jobSpan := telemetry.StartSpan(ctx, "job")
+
 	// Effective request: the degradation ladder mutates this copy between
 	// attempts; the cache key stays the original request's.
 	eff := *job.Req
@@ -462,7 +514,17 @@ func (e *Engine) runJob(job *Job) {
 	attempt := 0
 	for {
 		attempt++
-		res, err = runAnalysisSafe(ctx, req)
+		actx := ctx
+		var asp *telemetry.Span
+		if attempt > 1 {
+			// Retries get their own span so a degraded re-run is visible
+			// in the tree; the first attempt's stages sit directly under
+			// the job span, keeping the common case flat.
+			actx, asp = telemetry.StartSpan(ctx, "attempt")
+			asp.SetAttrs(telemetry.Int("n", int64(attempt)), telemetry.String("degraded", degraded))
+		}
+		res, err = runAnalysisSafe(actx, req, job.progress)
+		asp.End()
 		class, reason = classify(res, err)
 		if strings.HasPrefix(reason, "budget-") {
 			e.met.recordBudget(strings.TrimPrefix(reason, "budget-"))
@@ -475,6 +537,7 @@ func (e *Engine) runJob(job *Job) {
 			degraded = step
 			e.met.degradedJobs.Add(1)
 		}
+		log.Warn("job retrying", "attempt", attempt, "reason", reason, "degraded", degraded)
 		// Exponential backoff, interruptible by deadline or cancel: a
 		// context that dies mid-backoff ends the job with the context's
 		// own classification instead of burning another attempt.
@@ -494,6 +557,8 @@ func (e *Engine) runJob(job *Job) {
 		}
 	}
 	elapsed := time.Since(start)
+	jobSpan.SetAttrs(telemetry.Int("attempts", int64(attempt)))
+	jobSpan.End()
 
 	switch class {
 	case failNone, failTransient:
@@ -530,7 +595,37 @@ func (e *Engine) runJob(job *Job) {
 		e.met.recordFailed(reason)
 		job.finishFromWorker(StateFailed, nil, err)
 	}
+
+	if job.trace != nil {
+		// Fold the finished trace into the stage histograms and retain it
+		// for /v1/traces (the Job itself is pruned by retention earlier).
+		e.met.recordStages(job.trace.Durations())
+		snap := job.trace.Snapshot()
+		e.traces.add(TraceSummary{
+			JobID:      job.ID,
+			Kind:       string(job.Req.Kind),
+			State:      string(job.State()),
+			StartedAt:  snap.StartedAt,
+			DurationMS: elapsed.Milliseconds(),
+			NumSpans:   snap.NumSpans,
+		}, job.trace)
+	}
+	switch st := job.State(); st {
+	case StateDone:
+		log.Info("job finished", "state", string(st), "result", res.Status,
+			"attempts", attempt, "elapsed_ms", elapsed.Milliseconds())
+	default:
+		log.Warn("job finished", "state", string(st), "reason", reason,
+			"attempts", attempt, "elapsed_ms", elapsed.Milliseconds(), "err", errString(err))
+	}
 	e.noteFinished(job.ID)
+}
+
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
 }
 
 // runAnalysisSafe shields the worker pool from panics escaping the
@@ -538,7 +633,7 @@ func (e *Engine) runJob(job *Job) {
 // panic that slips through must fail one job, not crash the service. The
 // recovered panic is wrapped in ErrAnalysisPanic so the failure taxonomy
 // can classify it as transient.
-func runAnalysisSafe(ctx context.Context, req *Request) (res *Result, err error) {
+func runAnalysisSafe(ctx context.Context, req *Request, prog *sat.Progress) (res *Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			res, err = nil, fmt.Errorf("%w: %v", ErrAnalysisPanic, r)
@@ -547,17 +642,20 @@ func runAnalysisSafe(ctx context.Context, req *Request) (res *Result, err error)
 	faultinject.Do(ctx, faultinject.PointAllocPressure)
 	faultinject.Do(ctx, faultinject.PointSolverStall)
 	faultinject.Do(ctx, faultinject.PointWorkerPanic)
-	return runAnalysis(ctx, req)
+	return runAnalysis(ctx, req, prog)
 }
 
 // runAnalysis executes one request through the core facade's
 // context-aware entry points.
-func runAnalysis(ctx context.Context, req *Request) (*Result, error) {
+func runAnalysis(ctx context.Context, req *Request, progress *sat.Progress) (*Result, error) {
+	_, psp := telemetry.StartSpan(ctx, "parse")
 	prog, err := core.Parse(req.Source)
+	psp.End()
 	if err != nil {
 		return nil, err
 	}
 	a := req.analysis()
+	a.Progress = progress
 	switch req.Kind {
 	case KindVerify:
 		if req.Portfolio > 1 {

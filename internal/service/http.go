@@ -4,8 +4,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 )
 
@@ -18,14 +20,18 @@ const maxRequestBody = 4 << 20
 
 // NewHandler returns the buffy-serve HTTP API:
 //
-//	POST /v1/verify      run a BMC verify            (body: Request JSON)
-//	POST /v1/witness     find a query witness trace
-//	POST /v1/synthesize  synthesize a workload
-//	GET  /v1/jobs/{id}   poll a job
-//	GET  /healthz        readiness (alias of /healthz/ready)
-//	GET  /healthz/live   liveness: 200 while the process serves requests
-//	GET  /healthz/ready  readiness: 503 once draining or shut down
-//	GET  /metrics        Prometheus text (?format=json for a JSON snapshot)
+//	POST /v1/verify             run a BMC verify            (body: Request JSON)
+//	POST /v1/witness            find a query witness trace
+//	POST /v1/synthesize         synthesize a workload
+//	GET  /v1/jobs/{id}          poll a job
+//	GET  /v1/jobs/{id}/trace    the job's span tree (live or finished)
+//	GET  /v1/jobs/{id}/progress live solver-effort counters while it runs
+//	GET  /v1/traces             recent finished traces, newest first
+//	GET  /v1/version            build version, Go version, uptime
+//	GET  /healthz               readiness (alias of /healthz/ready)
+//	GET  /healthz/live          liveness: 200 while the process serves requests
+//	GET  /healthz/ready         readiness: 503 once draining or shut down
+//	GET  /metrics               Prometheus text (?format=json for a JSON snapshot)
 //
 // Analysis posts are synchronous by default: the handler waits for the
 // job and the response carries the result. Abandoning the request
@@ -43,6 +49,51 @@ func NewHandler(e *Engine) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, viewOf(job))
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		// Live jobs carry their trace; pruned jobs may still be in the
+		// retained-trace ring.
+		if job, ok := e.Job(id); ok {
+			if job.Trace() == nil {
+				writeError(w, http.StatusNotFound, fmt.Errorf("job %q has no trace (cache hit or tracing disabled)", id))
+				return
+			}
+			writeJSON(w, http.StatusOK, job.Trace().Snapshot())
+			return
+		}
+		if tr, ok := e.traces.get(id); ok {
+			writeJSON(w, http.StatusOK, tr.Snapshot())
+			return
+		}
+		writeError(w, http.StatusNotFound, fmt.Errorf("no such job %q", id))
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/progress", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		job, ok := e.Job(id)
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("no such job %q", id))
+			return
+		}
+		if job.Progress() == nil {
+			writeError(w, http.StatusNotFound, fmt.Errorf("job %q has no progress (cache hit or tracing disabled)", id))
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"id":       job.ID,
+			"state":    job.State(),
+			"progress": job.Progress().Snapshot(),
+		})
+	})
+	mux.HandleFunc("GET /v1/traces", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"traces": e.traces.summaries()})
+	})
+	mux.HandleFunc("GET /v1/version", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, VersionInfo{
+			Version:       Version,
+			GoVersion:     goVersion(),
+			UptimeSeconds: time.Since(e.met.start).Seconds(),
+		})
 	})
 	// Liveness vs readiness: liveness answers "is the process able to
 	// serve HTTP at all" (restart me if not); readiness answers "should a
@@ -194,4 +245,33 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// statusWriter captures the response status for the logging middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// WithRequestLogging wraps a handler with structured per-request logs
+// (method, path, status, duration) on log. Health and metrics probes are
+// skipped — they fire every few seconds and would drown the job logs.
+func WithRequestLogging(log *slog.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, "/healthz") || r.URL.Path == "/metrics" {
+			next.ServeHTTP(w, r)
+			return
+		}
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		log.Info("http request",
+			"method", r.Method, "path", r.URL.Path,
+			"status", sw.status, "elapsed_ms", time.Since(start).Milliseconds())
+	})
 }

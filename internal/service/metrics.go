@@ -63,17 +63,58 @@ type metrics struct {
 	portCount    int64
 	portSumNanos int64
 	portBuckets  []int64
+
+	// Per-stage histograms derived from finished traces: stage name
+	// (parse, compile, encode, bitblast, search, ...) → latency histogram
+	// over the solve buckets.
+	stageMu       sync.Mutex
+	stageCount    map[string]int64
+	stageSumNanos map[string]int64
+	stageBuckets  map[string][]int64
+
+	start time.Time
 }
 
 func newMetrics() *metrics {
 	return &metrics{
-		latBuckets:  make([]int64, len(latencyBuckets)),
-		portWins:    make(map[string]int64),
-		portBuckets: make([]int64, len(latencyBuckets)),
-		failedBy:    make(map[string]int64),
-		retriesBy:   make(map[string]int64),
-		budgetBy:    make(map[string]int64),
+		latBuckets:    make([]int64, len(latencyBuckets)),
+		portWins:      make(map[string]int64),
+		portBuckets:   make([]int64, len(latencyBuckets)),
+		failedBy:      make(map[string]int64),
+		retriesBy:     make(map[string]int64),
+		budgetBy:      make(map[string]int64),
+		stageCount:    make(map[string]int64),
+		stageSumNanos: make(map[string]int64),
+		stageBuckets:  make(map[string][]int64),
+		start:         time.Now(),
 	}
+}
+
+// recordStages folds one finished trace's per-stage durations (the sum of
+// that trace's ended spans by name) into the stage histograms. Internal
+// high-cardinality span names (per-restart, per-check) are aggregated by
+// name just like the pipeline stages, so they cost one label value each.
+func (m *metrics) recordStages(stages map[string]time.Duration) {
+	if len(stages) == 0 {
+		return
+	}
+	m.stageMu.Lock()
+	for name, d := range stages {
+		m.stageCount[name]++
+		m.stageSumNanos[name] += d.Nanoseconds()
+		b := m.stageBuckets[name]
+		if b == nil {
+			b = make([]int64, len(latencyBuckets))
+			m.stageBuckets[name] = b
+		}
+		secs := d.Seconds()
+		for i, bound := range latencyBuckets {
+			if secs <= bound {
+				b[i]++
+			}
+		}
+	}
+	m.stageMu.Unlock()
 }
 
 // recordFailed counts one failed job under its taxonomy reason.
@@ -183,6 +224,14 @@ type Snapshot struct {
 	PortfolioCount      int64            `json:"portfolio_count"`
 	PortfolioSecondsSum float64          `json:"portfolio_seconds_sum"`
 	PortfolioBuckets    map[string]int64 `json:"portfolio_latency_buckets"`
+
+	StageCount      map[string]int64            `json:"stage_count,omitempty"`
+	StageSecondsSum map[string]float64          `json:"stage_seconds_sum,omitempty"`
+	StageBuckets    map[string]map[string]int64 `json:"stage_latency_buckets,omitempty"`
+
+	Version       string  `json:"version"`
+	GoVersion     string  `json:"go_version"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
 }
 
 func (m *metrics) snapshot(queueDepth, workers, cacheEntries int) Snapshot {
@@ -257,6 +306,25 @@ func (m *metrics) snapshot(queueDepth, workers, cacheEntries int) Snapshot {
 		s.PortfolioBuckets[fmt.Sprintf("le_%g", bound)] = m.portBuckets[i]
 	}
 	m.portMu.Unlock()
+	m.stageMu.Lock()
+	if len(m.stageCount) > 0 {
+		s.StageCount = make(map[string]int64, len(m.stageCount))
+		s.StageSecondsSum = make(map[string]float64, len(m.stageCount))
+		s.StageBuckets = make(map[string]map[string]int64, len(m.stageCount))
+		for name, n := range m.stageCount {
+			s.StageCount[name] = n
+			s.StageSecondsSum[name] = float64(m.stageSumNanos[name]) / 1e9
+			bk := make(map[string]int64, len(latencyBuckets))
+			for i, bound := range latencyBuckets {
+				bk[fmt.Sprintf("le_%g", bound)] = m.stageBuckets[name][i]
+			}
+			s.StageBuckets[name] = bk
+		}
+	}
+	m.stageMu.Unlock()
+	s.Version = Version
+	s.GoVersion = goVersion()
+	s.UptimeSeconds = time.Since(m.start).Seconds()
 	return s
 }
 
@@ -344,4 +412,24 @@ func (s Snapshot) WritePrometheus(w io.Writer) {
 	fmt.Fprintf(w, "buffy_portfolio_duration_seconds_bucket{le=\"+Inf\"} %d\n", s.PortfolioCount)
 	fmt.Fprintf(w, "buffy_portfolio_duration_seconds_sum %g\n", s.PortfolioSecondsSum)
 	fmt.Fprintf(w, "buffy_portfolio_duration_seconds_count %d\n", s.PortfolioCount)
+
+	fmt.Fprintf(w, "# HELP buffy_stage_duration_seconds Per-pipeline-stage time from finished traces.\n# TYPE buffy_stage_duration_seconds histogram\n")
+	stages := make([]string, 0, len(s.StageCount))
+	for name := range s.StageCount {
+		stages = append(stages, name)
+	}
+	sort.Strings(stages)
+	for _, name := range stages {
+		for _, bound := range latencyBuckets {
+			fmt.Fprintf(w, "buffy_stage_duration_seconds_bucket{stage=%q,le=%q} %d\n",
+				name, fmt.Sprintf("%g", bound), s.StageBuckets[name][fmt.Sprintf("le_%g", bound)])
+		}
+		fmt.Fprintf(w, "buffy_stage_duration_seconds_bucket{stage=%q,le=\"+Inf\"} %d\n", name, s.StageCount[name])
+		fmt.Fprintf(w, "buffy_stage_duration_seconds_sum{stage=%q} %g\n", name, s.StageSecondsSum[name])
+		fmt.Fprintf(w, "buffy_stage_duration_seconds_count{stage=%q} %d\n", name, s.StageCount[name])
+	}
+
+	fmt.Fprintf(w, "# HELP buffy_build_info Build metadata (value is always 1).\n# TYPE buffy_build_info gauge\n")
+	fmt.Fprintf(w, "buffy_build_info{version=%q,goversion=%q} 1\n", s.Version, s.GoVersion)
+	gauge("buffy_uptime_seconds", "Seconds since the engine started.", s.UptimeSeconds)
 }

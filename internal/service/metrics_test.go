@@ -1,0 +1,158 @@
+package service
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestMetricsLabelSets drives a representative job mix through the engine
+// — verify (plus a cache hit), witness, synthesize, a budget-exhausted
+// retry that degrades, and a panic-failed job — then asserts that every
+// documented metric name and label set appears on /metrics. This is the
+// contract a scrape config and alert rules are written against; a rename
+// or dropped label must fail here, not in a dashboard.
+func TestMetricsLabelSets(t *testing.T) {
+	e, srv := newTestServer(t, Config{Workers: 2, MaxRetries: 1, RetryBackoff: time.Millisecond})
+
+	// verify ×2 (second is a cache hit) — quick limiter program.
+	for i := 0; i < 2; i++ {
+		resp, body := postJSON(t, srv.URL+"/v1/verify", map[string]any{"source": quickProg, "t": 3})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("verify %d: %d: %s", i, resp.StatusCode, body)
+		}
+	}
+	// witness — CS1 starvation query.
+	if resp, body := postJSON(t, srv.URL+"/v1/witness", map[string]any{
+		"source": fqWitnessReq(4).Source, "t": 4, "params": map[string]int64{"N": 3},
+	}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("witness: %d: %s", resp.StatusCode, body)
+	}
+	// synthesize — tiny workload-synthesis program.
+	if resp, body := postJSON(t, srv.URL+"/v1/synthesize", map[string]any{
+		"source": `p(buffer a, buffer b) {
+			move-p(a, b, 1);
+			if (t == T - 1) { assert(backlog-p(b) == T); }
+		}`, "t": 2,
+	}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("synthesize: %d: %s", resp.StatusCode, body)
+	}
+	// budget-exhausted retry: 1-conflict budget forces StopConflicts, the
+	// engine escalates (degraded="budget-escalated") and retries.
+	budgetReq := fqWitnessReq(5)
+	budgetReq.MaxConflicts = 1
+	job, err := e.Submit(budgetReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, job, 2*time.Minute)
+	// panic-failed job: unsupported width bypasses Submit validation, the
+	// shielded worker retries degraded, then fails with reason "panic".
+	panicReq := fqWitnessReq(2)
+	panicReq.Width = 1
+	e.mu.Lock()
+	pj := e.newJobLocked(panicReq)
+	e.mu.Unlock()
+	e.runJob(pj)
+	if st := pj.State(); st != StateFailed {
+		t.Fatalf("panic job state = %s, want failed", st)
+	}
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	prom := string(raw)
+
+	for _, want := range []string{
+		// Submission/outcome counters, by kind and in aggregate.
+		`buffy_jobs_submitted_total{kind="verify"}`,
+		`buffy_jobs_submitted_total{kind="witness"}`,
+		`buffy_jobs_submitted_total{kind="synthesize"}`,
+		"buffy_jobs_completed_total",
+		"buffy_jobs_failed_total",
+		`buffy_jobs_failed_reason_total{reason="panic"}`,
+		"buffy_jobs_canceled_total",
+		"buffy_jobs_rejected_total",
+		"buffy_admission_rejected_total",
+		// Failure-taxonomy labels from the retry ladder.
+		`buffy_job_retries_total{reason="budget-conflicts"}`,
+		`buffy_job_retries_total{reason="panic"}`,
+		`buffy_budget_exhausted_total{resource="conflicts"}`,
+		"buffy_jobs_degraded_total",
+		// Pool and cache gauges.
+		"buffy_queue_depth",
+		"buffy_workers",
+		"buffy_workers_busy",
+		"buffy_cache_hits_total",
+		"buffy_cache_misses_total",
+		"buffy_cache_entries",
+		"buffy_cache_hit_rate",
+		// Solver-effort counters.
+		"buffy_sat_conflicts_total",
+		"buffy_sat_decisions_total",
+		"buffy_sat_propagations_total",
+		"buffy_sat_restarts_total",
+		// Solve latency histogram.
+		`buffy_solve_duration_seconds_bucket{le="+Inf"}`,
+		"buffy_solve_duration_seconds_sum",
+		"buffy_solve_duration_seconds_count",
+		// Per-stage histograms derived from traces: every pipeline stage
+		// must have been observed by this mix.
+		`buffy_stage_duration_seconds_bucket{stage="parse",le="+Inf"}`,
+		`buffy_stage_duration_seconds_bucket{stage="compile",le="+Inf"}`,
+		`buffy_stage_duration_seconds_bucket{stage="encode",le="+Inf"}`,
+		`buffy_stage_duration_seconds_bucket{stage="bitblast",le="+Inf"}`,
+		`buffy_stage_duration_seconds_bucket{stage="search",le="+Inf"}`,
+		`buffy_stage_duration_seconds_sum{stage="search"}`,
+		`buffy_stage_duration_seconds_count{stage="search"}`,
+		`buffy_stage_duration_seconds_bucket{stage="job",le="0.01"}`,
+		// Build metadata.
+		`buffy_build_info{version="` + Version + `"`,
+		"buffy_uptime_seconds",
+	} {
+		if !strings.Contains(prom, want) {
+			t.Errorf("metrics missing %s", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("full exposition:\n%s", prom)
+	}
+
+	// Value-level checks via the JSON snapshot: the mix must have produced
+	// the counts the labels promise.
+	m := e.Metrics()
+	if m.CacheHits < 1 {
+		t.Errorf("cache hits = %d, want >= 1", m.CacheHits)
+	}
+	if m.JobsDegraded < 2 { // budget-escalated + budget-reduced (panic retry)
+		t.Errorf("degraded jobs = %d, want >= 2", m.JobsDegraded)
+	}
+	if m.JobsFailedBy["panic"] != 1 {
+		t.Errorf("failed[panic] = %d, want 1", m.JobsFailedBy["panic"])
+	}
+	// Five jobs solved (the cache hit does not trace): verify, witness,
+	// synthesize, budget retry, panic job — each contributes one "job"
+	// stage observation.
+	if m.StageCount["job"] < 5 {
+		t.Errorf("stage job count = %d, want >= 5 (have %v)", m.StageCount["job"], m.StageCount)
+	}
+	if m.StageCount["search"] < 4 { // the panic job dies before search
+		t.Errorf("stage search count = %d, want >= 4", m.StageCount["search"])
+	}
+	// Histogram invariant: +Inf bucket (the count) dominates every bound.
+	for stage, buckets := range m.StageBuckets {
+		for bound, n := range buckets {
+			if n > m.StageCount[stage] {
+				t.Errorf("stage %s bucket %s = %d exceeds count %d", stage, bound, n, m.StageCount[stage])
+			}
+		}
+	}
+	if m.UptimeSeconds <= 0 {
+		t.Errorf("uptime = %v, want > 0", m.UptimeSeconds)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"buffy/internal/smt/cnf"
+	"buffy/internal/telemetry"
 )
 
 // Status is the outcome of a Solve call.
@@ -142,6 +143,16 @@ type Limits struct {
 	// same amortized cadence as MaxConflicts, so Solve returns Unknown
 	// within a bounded number of search steps after cancellation.
 	Cancel <-chan struct{}
+	// Progress, when set, receives a lock-free live snapshot of search
+	// effort: the solver publishes counter deltas on the amortized
+	// budget-check cadence, so concurrent readers (a service progress
+	// endpoint) never touch the hot-path Stats fields. Shareable across
+	// concurrent solves — each publishes only its own delta.
+	Progress *Progress
+	// Span, when set, parents search-level telemetry spans: one per
+	// restart and per learnt-DB reduction round. The span's trace bounds
+	// how many are kept.
+	Span *telemetry.Span
 }
 
 // cancelled reports whether the cancel channel is readable.
@@ -833,6 +844,40 @@ func (s *Solver) budgetStop(lim Limits, conflicts0, props0 int64) StopReason {
 	return StopNone
 }
 
+// budgetFraction reports the largest consumed fraction of any configured
+// budget for this call, in [0, 1]; 0 when no budget is set. It feeds the
+// live progress snapshot so pollers can see how close a long solve is to
+// giving up.
+func (s *Solver) budgetFraction(lim Limits, conflicts0, props0 int64, start time.Time) float64 {
+	frac := 0.0
+	if lim.MaxConflicts > 0 {
+		if f := float64(s.stats.Conflicts-conflicts0) / float64(lim.MaxConflicts); f > frac {
+			frac = f
+		}
+	}
+	if lim.MaxPropagations > 0 {
+		if f := float64(s.stats.Propagations-props0) / float64(lim.MaxPropagations); f > frac {
+			frac = f
+		}
+	}
+	if lim.MaxLearntBytes > 0 {
+		if f := float64(s.learntBytes) / float64(lim.MaxLearntBytes); f > frac {
+			frac = f
+		}
+	}
+	if !lim.Deadline.IsZero() {
+		if total := lim.Deadline.Sub(start); total > 0 {
+			if f := float64(time.Since(start)) / float64(total); f > frac {
+				frac = f
+			}
+		}
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	return frac
+}
+
 // SolveLimited is Solve with a resource budget; it returns Unknown when the
 // budget is exhausted, with StopReason() recording which limit fired.
 func (s *Solver) SolveLimited(lim Limits, assumptions ...cnf.Lit) Status {
@@ -865,6 +910,23 @@ func (s *Solver) SolveLimited(lim Limits, assumptions ...cnf.Lit) Status {
 	learntLimit := int64(float64(len(s.clauses))*s.opts.LearntFrac) + s.opts.LearntBase
 	checkTick := 0
 
+	// Live progress: publish effort deltas on the amortized check cadence
+	// and once more on every exit path. The hot loop never touches the
+	// shared Progress outside publish calls, so Stats stays unsynchronized
+	// on the solver's own goroutine while pollers read atomics.
+	solveStart := time.Now()
+	pub := progressPub{p: lim.Progress}
+	if lim.Progress != nil {
+		pub.last = s.stats
+		pub.last.LearntBytes = s.learntBytes
+		lim.Progress.solves.Add(1)
+		lim.Progress.running.Add(1)
+		defer func() {
+			pub.publish(s, s.budgetFraction(lim, conflictsAtStart, propsAtStart, solveStart))
+			lim.Progress.running.Add(-1)
+		}()
+	}
+
 	for {
 		confl := s.propagate()
 		if confl == nil && s.debug {
@@ -877,6 +939,9 @@ func (s *Solver) SolveLimited(lim Limits, assumptions ...cnf.Lit) Status {
 			// cadence) — a pathological instance can burn its whole budget
 			// without ever reaching a decision.
 			if s.stats.Conflicts&63 == 0 {
+				if pub.p != nil {
+					pub.publish(s, s.budgetFraction(lim, conflictsAtStart, propsAtStart, solveStart))
+				}
 				if r := s.budgetStop(lim, conflictsAtStart, propsAtStart); r != StopNone {
 					s.stopReason = r
 					s.backtrackTo(0)
@@ -922,6 +987,9 @@ func (s *Solver) SolveLimited(lim Limits, assumptions ...cnf.Lit) Status {
 		// Budget check (amortized).
 		checkTick++
 		if checkTick&63 == 0 {
+			if pub.p != nil {
+				pub.publish(s, s.budgetFraction(lim, conflictsAtStart, propsAtStart, solveStart))
+			}
 			if r := s.budgetStop(lim, conflictsAtStart, propsAtStart); r != StopNone {
 				s.stopReason = r
 				s.backtrackTo(0)
@@ -946,13 +1014,24 @@ func (s *Solver) SolveLimited(lim Limits, assumptions ...cnf.Lit) Status {
 			geomInterval *= s.opts.RestartGrowth
 			nextRestart = s.stats.Conflicts + s.restartInterval(restartBase, curRestart, geomInterval)
 			s.backtrackTo(len(assumptions))
+			rsp := lim.Span.Child("sat.restart")
+			rsp.SetAttrs(
+				telemetry.Int("conflicts", s.stats.Conflicts-conflictsAtStart),
+				telemetry.Int("interval", nextRestart-s.stats.Conflicts))
+			rsp.End()
 		}
 
 		// Reduce learnt DB? Watch re-attachment is only sound at level 0,
 		// so force a full restart first.
 		if int64(len(s.learnts)) > learntLimit {
 			s.backtrackTo(0)
+			ssp := lim.Span.Child("sat.simplify")
+			before := int64(len(s.learnts))
 			s.reduceDB()
+			ssp.SetAttrs(
+				telemetry.Int("learnt_before", before),
+				telemetry.Int("learnt_after", int64(len(s.learnts))))
+			ssp.End()
 			learntLimit = int64(float64(learntLimit) * s.opts.LearntGrowth)
 		}
 

@@ -18,6 +18,7 @@ import (
 	"buffy/internal/smt/cnf"
 	"buffy/internal/smt/sat"
 	"buffy/internal/smt/term"
+	"buffy/internal/telemetry"
 )
 
 // Result is the outcome of a Check.
@@ -60,6 +61,11 @@ type Options struct {
 	// value is the classic configuration; the portfolio layer races
 	// diversified Search settings against each other.
 	Search sat.Options
+	// Progress, when non-nil, receives live search-effort counters from
+	// every Check. The service attaches one per job so in-flight solves
+	// can be polled; forks inherit it, so a portfolio race aggregates all
+	// configs' effort into the same Progress.
+	Progress *sat.Progress
 }
 
 // Solver is an incremental SMT solver over booleans and bounded integers.
@@ -185,6 +191,7 @@ func (s *Solver) checkAssuming(ctx context.Context, snapshot bool, assumptions .
 		MaxPropagations: s.opts.MaxPropagations,
 		MaxLearntBytes:  s.opts.MaxLearntBytes,
 		Cancel:          ctx.Done(),
+		Progress:        s.opts.Progress,
 	}
 	if s.opts.Timeout > 0 {
 		lim.Deadline = time.Now().Add(s.opts.Timeout)
@@ -192,7 +199,18 @@ func (s *Solver) checkAssuming(ctx context.Context, snapshot bool, assumptions .
 	if d, ok := ctx.Deadline(); ok && (lim.Deadline.IsZero() || d.Before(lim.Deadline)) {
 		lim.Deadline = d
 	}
-	switch s.sat.SolveLimited(lim, lits...) {
+	_, span := telemetry.StartSpan(ctx, "search")
+	lim.Span = span
+	res := s.sat.SolveLimited(lim, lits...)
+	if span != nil {
+		st := s.sat.Stats()
+		span.SetAttrs(
+			telemetry.String("result", res.String()),
+			telemetry.Int("conflicts", st.Conflicts),
+			telemetry.Int("decisions", st.Decisions))
+		span.End()
+	}
+	switch res {
 	case sat.Sat:
 		if snapshot {
 			s.snapshotModel()
