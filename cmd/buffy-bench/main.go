@@ -14,6 +14,7 @@
 //	buffy-bench -exp a4       # extension: throughput vs ack-path delay
 //	buffy-bench -exp portfolio # extension: portfolio vs single-config solver
 //	buffy-bench -exp stages   # extension: per-stage cost breakdown (spans)
+//	buffy-bench -exp netcalc  # extension: analytical bounds vs SMT differential
 //	buffy-bench -exp all
 package main
 
@@ -39,10 +40,11 @@ var experiments = []struct {
 	{"a4", "extension — throughput vs ack-path delay (composed instances)", runA4},
 	{"portfolio", "extension — portfolio vs single-config solver (first-wins race)", runPortfolioExp},
 	{"stages", "extension — per-stage cost breakdown across the corpus (telemetry spans)", runStages},
+	{"netcalc", "extension — network-calculus bounds (µs) vs SMT differential certification", runNetcalc},
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (table1 fig6 cs1 cs1b cs2 a1 a2 a3 a4 portfolio stages all)")
+	exp := flag.String("exp", "all", "experiment id (table1 fig6 cs1 cs1b cs2 a1 a2 a3 a4 portfolio stages netcalc all)")
 	flag.Parse()
 	ran := false
 	for _, e := range experiments {

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// backendModes is the backend/mode compatibility matrix: each analysis
+// backend answers only its own query shapes, and asking one for a mode it
+// cannot serve is a user error buffyc must reject up front (exit 1 with
+// the supported set) rather than run a different backend silently.
+var backendModes = map[string]map[string]bool{
+	"smt": {
+		"verify": true, "witness": true, "synth": true,
+		"smtlib": true, "invariants": true,
+	},
+	"netcalc": {"bound": true},
+	"dafny":   {"dafny": true, "dafny-verify": true},
+}
+
+// defaultMode is the mode an explicit -backend implies when -mode is left
+// at its default: the backend's canonical query.
+var defaultMode = map[string]string{
+	"smt":     "verify",
+	"netcalc": "bound",
+	"dafny":   "dafny",
+}
+
+// checkBackendMode validates an explicit -backend against the requested
+// mode. An empty backend means "infer from mode" and always passes; "fmt"
+// is pure front-end and accepts no backend at all.
+func checkBackendMode(backend, mode string) error {
+	if backend == "" {
+		return nil
+	}
+	modes, ok := backendModes[backend]
+	if !ok {
+		return fmt.Errorf("unknown backend %q (want smt | netcalc | dafny)", backend)
+	}
+	if mode == "fmt" {
+		return fmt.Errorf("mode fmt is pure front-end formatting and uses no analysis backend; drop -backend")
+	}
+	if !modes[mode] {
+		supported := make([]string, 0, len(modes))
+		for m := range modes {
+			supported = append(supported, m)
+		}
+		sort.Strings(supported)
+		return fmt.Errorf("backend %s cannot answer mode %s (supported: %s); see -backend for the other backends",
+			backend, mode, strings.Join(supported, ", "))
+	}
+	return nil
+}

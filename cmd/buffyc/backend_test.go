@@ -1,0 +1,49 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCheckBackendMode(t *testing.T) {
+	ok := [][2]string{
+		{"", "verify"}, {"", "bound"}, {"", "fmt"},
+		{"smt", "verify"}, {"smt", "witness"}, {"smt", "synth"},
+		{"smt", "smtlib"}, {"smt", "invariants"},
+		{"netcalc", "bound"},
+		{"dafny", "dafny"}, {"dafny", "dafny-verify"},
+	}
+	for _, c := range ok {
+		if err := checkBackendMode(c[0], c[1]); err != nil {
+			t.Errorf("checkBackendMode(%q, %q) = %v, want nil", c[0], c[1], err)
+		}
+	}
+	bad := [][2]string{
+		{"netcalc", "verify"}, {"netcalc", "witness"}, {"netcalc", "fmt"},
+		{"smt", "bound"}, {"smt", "dafny"},
+		{"dafny", "bound"}, {"dafny", "verify"},
+		{"z3", "verify"}, // unknown backend
+	}
+	for _, c := range bad {
+		if err := checkBackendMode(c[0], c[1]); err == nil {
+			t.Errorf("checkBackendMode(%q, %q) = nil, want error", c[0], c[1])
+		}
+	}
+}
+
+// The mismatch message must name the supported modes so the user can
+// self-correct without reading source.
+func TestMismatchMessageNamesSupportedModes(t *testing.T) {
+	err := checkBackendMode("netcalc", "verify")
+	if err == nil || !strings.Contains(err.Error(), "bound") {
+		t.Errorf("error %v should name the supported mode \"bound\"", err)
+	}
+}
+
+func TestDefaultModePerBackend(t *testing.T) {
+	for backend, mode := range defaultMode {
+		if err := checkBackendMode(backend, mode); err != nil {
+			t.Errorf("default mode %q invalid for backend %q: %v", mode, backend, err)
+		}
+	}
+}

@@ -4,6 +4,9 @@
 //	buffyc -mode verify   -T 6 -param N=3 sched.buffy   # BMC: asserts hold?
 //	buffyc -mode witness  -T 6 -param N=3 sched.buffy   # find a query witness
 //	buffyc -mode synth    -T 5 -param N=2 sched.buffy   # FPerf-style workload
+//	buffyc -backend netcalc -param RATE=1 -param BURST=3 -param C=2 tbrl.buffy
+//	                                                     # analytical bounds (µs)
+//	buffyc -mode bound -crosscheck -T 6 ... tbrl.buffy   # + SMT differential
 //	buffyc -mode dafny    -T 4 -param N=3 sched.buffy   # emit Dafny source
 //	buffyc -mode dafny-verify -T 4 -param N=3 sched.buffy
 //	buffyc -mode smtlib   -T 3 sched.buffy               # emit SMT-LIB v2
@@ -46,7 +49,9 @@ func (p paramFlags) Set(s string) error {
 
 func main() {
 	params := paramFlags{}
-	mode := flag.String("mode", "verify", "verify | witness | synth | dafny | dafny-verify | smtlib | invariants | fmt")
+	mode := flag.String("mode", "verify", "verify | witness | synth | bound | dafny | dafny-verify | smtlib | invariants | fmt")
+	backend := flag.String("backend", "", "analysis backend: smt | netcalc | dafny (default: inferred from -mode; an incompatible pairing is an error)")
+	crossCheck := flag.Bool("crosscheck", false, "differentially validate the netcalc bounds against the SMT backend at horizon T (mode bound)")
 	T := flag.Int("T", 4, "time horizon (steps)")
 	model := flag.String("model", "list", "buffer model: list | count | multiclass")
 	width := flag.Int("width", 0, "solver integer bit width (default 12)")
@@ -61,6 +66,24 @@ func main() {
 	maxLearnt := flag.Int64("max-learnt-bytes", 0, "learnt-clause memory budget per solve, estimated bytes (0 = unlimited)")
 	flag.Var(params, "param", "compile-time parameter, name=value (repeatable)")
 	flag.Parse()
+
+	// An explicit -backend with -mode left at its default implies the
+	// backend's canonical mode (buffyc -backend netcalc == -mode bound);
+	// an explicit incompatible pairing is rejected before any work.
+	modeSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "mode" {
+			modeSet = true
+		}
+	})
+	if *backend != "" && !modeSet {
+		if m, ok := defaultMode[*backend]; ok {
+			*mode = m
+		}
+	}
+	if err := checkBackendMode(*backend, *mode); err != nil {
+		fatal(err)
+	}
 
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: buffyc [flags] program.buffy")
@@ -155,6 +178,25 @@ func main() {
 		}
 		fmt.Printf("%s: workload synthesized in %.3fs (%d checks):\n  %v\n",
 			prog.Name(), res.Duration.Seconds(), res.Checks, res.Workload)
+	case "bound":
+		a.CrossCheck = *crossCheck
+		res, err := prog.BoundContext(ctx, a)
+		if err != nil {
+			fatal(err)
+		}
+		if !res.Bounded {
+			fmt.Printf("%s: flow %s is unbounded — the topology offers it no service guarantee\n",
+				prog.Name(), res.Victim)
+		} else {
+			fmt.Printf("%s: flow %s delay <= %s steps, backlog <= %s pkts (%v)\n",
+				prog.Name(), res.Victim, res.Delay.RatString(), res.Backlog.RatString(), res.Duration)
+		}
+		for _, fb := range res.Flows {
+			fmt.Printf("  %-8s %s\n", fb.Flow, fb.String())
+		}
+		if cc := res.CrossCheck; cc != nil {
+			fmt.Printf("cross-check: %s at T=%d (%v)\n", cc.Status, cc.T, cc.Duration)
+		}
 	case "dafny":
 		out, err := prog.GenerateDafny(a)
 		if err != nil {

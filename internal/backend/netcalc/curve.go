@@ -1,0 +1,690 @@
+// Package netcalc is Buffy's analytical backend: a (min,+) network-calculus
+// engine that answers bound queries — worst-case per-flow delay and backlog —
+// in microseconds, without any solver search. Arrival curves are concave
+// piecewise-linear functions (token buckets and their minima), service curves
+// are convex piecewise-linear functions (rate-latency servers, pure delays,
+// and their residuals), and the classic theorems connect them:
+//
+//	backlog(f) <= vdev(alpha_f, beta_f)   (maximum vertical deviation)
+//	delay(f)   <= hdev(alpha_f, beta_f)   (maximum horizontal deviation)
+//
+// Bounds are computed over exact rationals (math/big), so there is no
+// floating-point soundness gap between the analytical answer and the integer
+// SMT semantics it is differentially checked against (differential.go).
+package netcalc
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+	"strings"
+)
+
+// point is a curve breakpoint. Coordinates are exact rationals.
+type point struct {
+	x, y *big.Rat
+}
+
+// Curve is a piecewise-linear function f: [0, inf) -> [0, inf].
+//
+// Representation: breakpoints with strictly increasing x starting at x=0,
+// linear interpolation between consecutive breakpoints, and slope tail
+// after the last one. A nil tail means the curve jumps to +inf immediately
+// after its last breakpoint (pure-delay service curves).
+//
+// By network-calculus convention every curve has f(0) = 0; pts[0].y stores
+// the right-limit f(0+), so a token bucket's burst appears as pts[0].y > 0.
+// All algorithms work on this right-continuous extension, which is exactly
+// the sup/inf the deviation bounds need. Curves are continuous on (0, inf)
+// apart from the single jump to +inf a nil tail encodes.
+type Curve struct {
+	pts  []point
+	tail *big.Rat // slope after the last breakpoint; nil = +inf
+}
+
+// rat builds an exact rational from an int64 pair.
+func rat(num, den int64) *big.Rat { return big.NewRat(num, den) }
+
+// ratI builds an exact rational from an int64.
+func ratI(v int64) *big.Rat { return new(big.Rat).SetInt64(v) }
+
+var zero = new(big.Rat)
+
+// TokenBucket is the affine arrival curve gamma_{r,b}(t) = r*t + b for t > 0
+// (and 0 at t = 0): a flow that can burst b packets and sustain rate r.
+func TokenBucket(r, b *big.Rat) Curve {
+	return Curve{pts: []point{{x: new(big.Rat), y: new(big.Rat).Set(b)}}, tail: new(big.Rat).Set(r)}
+}
+
+// RateLatency is the convex service curve beta_{R,L}(t) = R * max(0, t-L):
+// a server that, once backlogged, may stall for L time units but then
+// guarantees rate R.
+func RateLatency(r, l *big.Rat) Curve {
+	if l.Sign() <= 0 {
+		return Curve{pts: []point{{x: new(big.Rat), y: new(big.Rat)}}, tail: new(big.Rat).Set(r)}
+	}
+	return Curve{
+		pts:  []point{{x: new(big.Rat), y: new(big.Rat)}, {x: new(big.Rat).Set(l), y: new(big.Rat)}},
+		tail: new(big.Rat).Set(r),
+	}
+}
+
+// Delay is the pure-delay service curve delta_d: 0 up to d, then +inf. It is
+// the service curve of a stage that holds traffic for at most d time units.
+func Delay(d *big.Rat) Curve {
+	if d.Sign() <= 0 {
+		return Curve{pts: []point{{x: new(big.Rat), y: new(big.Rat)}}, tail: nil}
+	}
+	return Curve{
+		pts:  []point{{x: new(big.Rat), y: new(big.Rat)}, {x: new(big.Rat).Set(d), y: new(big.Rat)}},
+		tail: nil,
+	}
+}
+
+// Zero is the constant-zero curve (a server that guarantees nothing).
+func Zero() Curve {
+	return Curve{pts: []point{{x: new(big.Rat), y: new(big.Rat)}}, tail: new(big.Rat)}
+}
+
+// last returns the final breakpoint.
+func (c Curve) last() point { return c.pts[len(c.pts)-1] }
+
+// Eval returns the right-continuous extension f(x+); the boolean is false
+// when the value is +inf (x past the last breakpoint of a nil-tail curve).
+// x must be >= 0.
+func (c Curve) Eval(x *big.Rat) (*big.Rat, bool) {
+	lp := c.last()
+	if x.Cmp(lp.x) >= 0 {
+		if c.tail == nil {
+			if x.Cmp(lp.x) == 0 {
+				return new(big.Rat).Set(lp.y), true
+			}
+			return nil, false
+		}
+		d := new(big.Rat).Sub(x, lp.x)
+		return d.Mul(d, c.tail).Add(d, lp.y), true
+	}
+	// Binary search for the segment containing x: pts[i].x <= x < pts[i+1].x.
+	i := sort.Search(len(c.pts), func(j int) bool { return c.pts[j].x.Cmp(x) > 0 }) - 1
+	a, b := c.pts[i], c.pts[i+1]
+	// Linear interpolation a -> b.
+	w := new(big.Rat).Sub(b.x, a.x)
+	s := new(big.Rat).Sub(b.y, a.y)
+	s.Quo(s, w)
+	d := new(big.Rat).Sub(x, a.x)
+	return d.Mul(d, s).Add(d, a.y), true
+}
+
+// slopeAt returns the slope of the segment starting at breakpoint i (the
+// tail slope for the last breakpoint); nil means +inf.
+func (c Curve) slopeAt(i int) *big.Rat {
+	if i == len(c.pts)-1 {
+		return c.tail
+	}
+	s := new(big.Rat).Sub(c.pts[i+1].y, c.pts[i].y)
+	w := new(big.Rat).Sub(c.pts[i+1].x, c.pts[i].x)
+	return s.Quo(s, w)
+}
+
+// normalize drops redundant collinear breakpoints.
+func normalize(pts []point, tail *big.Rat) Curve {
+	out := pts[:1]
+	for i := 1; i < len(pts); i++ {
+		out = append(out, pts[i])
+		for len(out) >= 3 {
+			a, b, c := out[len(out)-3], out[len(out)-2], out[len(out)-1]
+			// b redundant when (a->b) and (b->c) share a slope:
+			// (b.y-a.y)*(c.x-b.x) == (c.y-b.y)*(b.x-a.x).
+			l := new(big.Rat).Sub(b.y, a.y)
+			l.Mul(l, new(big.Rat).Sub(c.x, b.x))
+			r := new(big.Rat).Sub(c.y, b.y)
+			r.Mul(r, new(big.Rat).Sub(b.x, a.x))
+			if l.Cmp(r) != 0 {
+				break
+			}
+			out[len(out)-2] = c
+			out = out[:len(out)-1]
+		}
+	}
+	// The last breakpoint is redundant when the tail continues the final
+	// segment's slope.
+	for len(out) >= 2 && tail != nil {
+		a, b := out[len(out)-2], out[len(out)-1]
+		s := new(big.Rat).Sub(b.y, a.y)
+		w := new(big.Rat).Sub(b.x, a.x)
+		if s.Quo(s, w).Cmp(tail) != 0 {
+			break
+		}
+		out = out[:len(out)-1]
+	}
+	return Curve{pts: out, tail: tail}
+}
+
+// breakXs returns the sorted union of both curves' breakpoint abscissae.
+func breakXs(f, g Curve) []*big.Rat {
+	var xs []*big.Rat
+	i, j := 0, 0
+	for i < len(f.pts) || j < len(g.pts) {
+		switch {
+		case j == len(g.pts):
+			xs = append(xs, f.pts[i].x)
+			i++
+		case i == len(f.pts):
+			xs = append(xs, g.pts[j].x)
+			j++
+		default:
+			c := f.pts[i].x.Cmp(g.pts[j].x)
+			xs = append(xs, f.pts[i].x)
+			if c <= 0 {
+				i++
+			}
+			if c >= 0 {
+				if c > 0 {
+					xs[len(xs)-1] = g.pts[j].x
+				}
+				j++
+			}
+		}
+	}
+	return xs
+}
+
+// Add returns f + g (pointwise). Regions where either operand is +inf are
+// +inf in the sum, so the result's finite domain is the intersection.
+func Add(f, g Curve) Curve {
+	end := f.last().x
+	var tail *big.Rat
+	switch {
+	case f.tail == nil && g.tail == nil:
+		if g.last().x.Cmp(end) < 0 {
+			end = g.last().x
+		}
+	case f.tail == nil:
+	case g.tail == nil:
+		end = g.last().x
+	default:
+		end = nil // both finite everywhere
+		tail = new(big.Rat).Add(f.tail, g.tail)
+	}
+	var pts []point
+	for _, x := range breakXs(f, g) {
+		if end != nil && x.Cmp(end) > 0 {
+			break
+		}
+		fv, ok1 := f.Eval(x)
+		gv, ok2 := g.Eval(x)
+		if !ok1 || !ok2 {
+			break
+		}
+		pts = append(pts, point{x: new(big.Rat).Set(x), y: new(big.Rat).Add(fv, gv)})
+	}
+	return normalize(pts, tail)
+}
+
+// Sub returns f - g pointwise on g's finite domain (g must be finite wherever
+// f is; used for residual service curves beta - alpha where alpha is a
+// finite arrival curve). Negative values are allowed in the result; callers
+// clamp with MaxZero.
+func Sub(f, g Curve) Curve {
+	if g.tail == nil {
+		panic("netcalc: Sub requires a finite subtrahend")
+	}
+	var pts []point
+	end := (*big.Rat)(nil)
+	if f.tail == nil {
+		end = f.last().x
+	}
+	for _, x := range breakXs(f, g) {
+		if end != nil && x.Cmp(end) > 0 {
+			break
+		}
+		fv, _ := f.Eval(x)
+		gv, _ := g.Eval(x)
+		pts = append(pts, point{x: new(big.Rat).Set(x), y: new(big.Rat).Sub(fv, gv)})
+	}
+	var tail *big.Rat
+	if f.tail != nil {
+		tail = new(big.Rat).Sub(f.tail, g.tail)
+	}
+	return normalize(pts, tail)
+}
+
+// crossing returns the abscissa in (a, b) where the two linear pieces of f
+// and g over [a, b] cross sign, or nil. fa, ga are values at a; fb, gb at b.
+func crossing(a, b, fa, ga, fb, gb *big.Rat) *big.Rat {
+	da := new(big.Rat).Sub(fa, ga)
+	db := new(big.Rat).Sub(fb, gb)
+	if da.Sign() == 0 || db.Sign() == 0 || da.Sign() == db.Sign() {
+		return nil
+	}
+	// x = a + (b-a) * da / (da - db)
+	t := new(big.Rat).Sub(da, db)
+	t.Quo(da, t)
+	w := new(big.Rat).Sub(b, a)
+	return t.Mul(t, w).Add(t, a)
+}
+
+// minmax computes the pointwise min (useMin) or max of f and g, inserting
+// breakpoints where the curves cross. Min requires both tails finite (an
+// interior jump to +inf would make the minimum discontinuous mid-domain,
+// which the representation cannot hold); Max supports +inf tails.
+func minmax(f, g Curve, useMin bool) Curve {
+	if useMin && (f.tail == nil || g.tail == nil) {
+		panic("netcalc: Min requires finite-tailed curves")
+	}
+	// Max: once either curve is +inf, the max is +inf. The result's finite
+	// region ends at the earlier nil-tail boundary.
+	end := (*big.Rat)(nil)
+	var tail *big.Rat
+	hasTail := true
+	if f.tail == nil || g.tail == nil {
+		if f.tail == nil {
+			end = f.last().x
+		}
+		if g.tail == nil && (end == nil || g.last().x.Cmp(end) < 0) {
+			end = g.last().x
+		}
+		hasTail = false
+	}
+	xs := breakXs(f, g)
+	var pts []point
+	var prevX, prevFV, prevGV *big.Rat
+	for _, x := range xs {
+		if end != nil && x.Cmp(end) > 0 {
+			break
+		}
+		fv, _ := f.Eval(x)
+		gv, _ := g.Eval(x)
+		if prevX != nil {
+			if cx := crossing(prevX, x, prevFV, prevGV, fv, gv); cx != nil {
+				cv, _ := f.Eval(cx)
+				pts = append(pts, point{x: cx, y: cv})
+			}
+		}
+		y := fv
+		if (gv.Cmp(fv) < 0) == useMin {
+			y = gv
+		}
+		pts = append(pts, point{x: new(big.Rat).Set(x), y: new(big.Rat).Set(y)})
+		prevX, prevFV, prevGV = x, fv, gv
+	}
+	if !hasTail {
+		return normalize(pts, nil)
+	}
+	// Both tails finite: past the last shared breakpoint both curves are
+	// affine; they cross at most once more.
+	lastX := pts[len(pts)-1].x
+	fv, _ := f.Eval(lastX)
+	gv, _ := g.Eval(lastX)
+	// Evaluate both one unit further to reuse the segment-crossing helper.
+	step := new(big.Rat).Add(lastX, ratI(1))
+	fv2, _ := f.Eval(step)
+	gv2, _ := g.Eval(step)
+	df := new(big.Rat).Sub(fv2, fv)
+	dg := new(big.Rat).Sub(gv2, gv)
+	diff0 := new(big.Rat).Sub(fv, gv)
+	dd := new(big.Rat).Sub(df, dg)
+	if diff0.Sign() != 0 && dd.Sign() != 0 && diff0.Sign() != dd.Sign() {
+		// Lines cross at lastX + (-diff0 / dd); insert the kink if it is
+		// strictly ahead.
+		off := new(big.Rat).Neg(diff0)
+		off.Quo(off, dd)
+		if off.Sign() > 0 {
+			cx := new(big.Rat).Add(lastX, off)
+			cv, _ := f.Eval(cx)
+			pts = append(pts, point{x: cx, y: cv})
+		}
+	}
+	// Tail slope: the smaller (min) or larger (max) of the two tail rates.
+	tail = new(big.Rat).Set(f.tail)
+	if (g.tail.Cmp(f.tail) < 0) == useMin {
+		tail.Set(g.tail)
+	}
+	return normalize(pts, tail)
+}
+
+// Min returns the pointwise minimum. Both curves must have finite tails
+// (arrival-curve territory: the min of token buckets).
+func Min(f, g Curve) Curve { return minmax(f, g, true) }
+
+// Max returns the pointwise maximum (+inf regions win).
+func Max(f, g Curve) Curve { return minmax(f, g, false) }
+
+// MaxZero clamps a curve at zero from below: [f]^+ = max(f, 0). This is the
+// non-decreasing closure step of residual service curves [beta - alpha]^+.
+func MaxZero(f Curve) Curve { return Max(f, Zero()) }
+
+// ConvolveConcave returns the (min,+) convolution of two concave curves with
+// f(0) = g(0) = 0, which collapses to the pointwise minimum — the standard
+// identity for concave arrival curves.
+func ConvolveConcave(f, g Curve) Curve { return Min(f, g) }
+
+// segment is a (width, slope) run used by the convex convolution; a nil
+// slope marks the jump to +inf.
+type segment struct {
+	width *big.Rat // nil = unbounded (the tail)
+	slope *big.Rat
+}
+
+// segments decomposes a curve into its ordered (width, slope) runs,
+// including the tail as a final unbounded segment.
+func segments(c Curve) []segment {
+	var segs []segment
+	for i := 0; i+1 < len(c.pts); i++ {
+		w := new(big.Rat).Sub(c.pts[i+1].x, c.pts[i].x)
+		segs = append(segs, segment{width: w, slope: c.slopeAt(i)})
+	}
+	segs = append(segs, segment{width: nil, slope: c.tail})
+	return segs
+}
+
+// ConvolveConvex returns the (min,+) convolution of two convex curves with
+// f(0+) = g(0+) = 0: concatenate both curves' slope runs in ascending slope
+// order. Rate-latency convolution beta_{R1,L1} (x) beta_{R2,L2} =
+// beta_{min(R1,R2), L1+L2} is the special case.
+func ConvolveConvex(f, g Curve) Curve {
+	if f.pts[0].y.Sign() != 0 || g.pts[0].y.Sign() != 0 {
+		panic("netcalc: convex convolution requires curves starting at 0")
+	}
+	segs := append(segments(f), segments(g)...)
+	// The result's tail rate is the smaller of the two tail rates (nil =
+	// +inf loses to any finite rate; two nils stay nil). Finite segments
+	// with slope above the tail rate are pushed past the tail's unbounded
+	// run and never materialize.
+	var tail *big.Rat
+	switch {
+	case f.tail == nil && g.tail == nil:
+		tail = nil
+	case f.tail == nil:
+		tail = g.tail
+	case g.tail == nil:
+		tail = f.tail
+	default:
+		tail = f.tail
+		if g.tail.Cmp(tail) < 0 {
+			tail = g.tail
+		}
+	}
+	var finite []segment
+	for _, s := range segs {
+		if s.width == nil {
+			continue
+		}
+		if tail != nil && s.slope.Cmp(tail) >= 0 {
+			continue
+		}
+		finite = append(finite, s)
+	}
+	sort.SliceStable(finite, func(i, j int) bool { return finite[i].slope.Cmp(finite[j].slope) < 0 })
+	pts := []point{{x: new(big.Rat), y: new(big.Rat)}}
+	x, y := new(big.Rat), new(big.Rat)
+	for _, s := range finite {
+		x = new(big.Rat).Add(x, s.width)
+		dy := new(big.Rat).Mul(s.width, s.slope)
+		y = new(big.Rat).Add(y, dy)
+		pts = append(pts, point{x: x, y: y})
+	}
+	return normalize(pts, tail)
+}
+
+// Deconvolve returns the exact (min,+) deconvolution
+// (alpha (/) beta)(t) = sup_u (alpha(t+u) - beta(u)) — the tight arrival
+// curve of a flow with arrival curve alpha after crossing a server with
+// service curve beta. alpha must be concave with a finite tail, beta
+// convex. The boolean is false when the output is unbounded (the flow's
+// sustained rate exceeds the service rate). Token-bucket through
+// rate-latency is the special case gamma_{r,b} (/) beta_{R,L} =
+// gamma_{r, b+r*L}.
+//
+// The map (t,u) -> alpha(t+u) - beta(u) is jointly concave, so the result
+// is concave PWL; its kinks occur where the optimal u regime changes, i.e.
+// at t = a_i - b_j for breakpoints a_i of alpha and b_j of beta. Computing
+// the exact sup at each such candidate t and interpolating is exact.
+func Deconvolve(alpha, beta Curve) (Curve, bool) {
+	if beta.tail != nil && alpha.tail.Cmp(beta.tail) > 0 {
+		return Curve{}, false
+	}
+	var ts []*big.Rat
+	seen := map[string]bool{}
+	add := func(t *big.Rat) {
+		if t.Sign() < 0 || seen[t.RatString()] {
+			return
+		}
+		seen[t.RatString()] = true
+		ts = append(ts, t)
+	}
+	add(new(big.Rat))
+	for _, a := range alpha.pts {
+		for _, b := range beta.pts {
+			add(new(big.Rat).Sub(a.x, b.x))
+		}
+	}
+	sort.Slice(ts, func(i, j int) bool { return ts[i].Cmp(ts[j]) < 0 })
+	pts := make([]point, 0, len(ts))
+	for _, t := range ts {
+		pts = append(pts, point{x: t, y: supShiftMinusBeta(alpha, beta, t)})
+	}
+	return normalize(pts, new(big.Rat).Set(alpha.tail)), true
+}
+
+// supShiftMinusBeta computes sup_{u>=0} (alpha(t+u) - beta(u)) for a fixed
+// shift t, assuming alpha's rate does not exceed beta's. The objective is
+// concave in u with kinks where t+u hits an alpha breakpoint or u hits a
+// beta breakpoint, so the sup sits at one of those candidates.
+func supShiftMinusBeta(alpha, beta Curve, t *big.Rat) *big.Rat {
+	best := (*big.Rat)(nil)
+	consider := func(u *big.Rat) {
+		if u.Sign() < 0 {
+			return
+		}
+		bv, ok := beta.Eval(u)
+		if !ok {
+			return // beta is +inf here: objective is -inf
+		}
+		av, _ := alpha.Eval(new(big.Rat).Add(t, u))
+		d := new(big.Rat).Sub(av, bv)
+		if best == nil || d.Cmp(best) > 0 {
+			best = d
+		}
+	}
+	for _, b := range beta.pts {
+		consider(b.x)
+	}
+	for _, a := range alpha.pts {
+		consider(new(big.Rat).Sub(a.x, t))
+	}
+	return best
+}
+
+// VDev returns the maximum vertical deviation sup_t (alpha(t) - beta(t)) —
+// the backlog bound — for concave alpha (finite tail) and convex beta. ok is
+// false when the deviation is unbounded.
+func VDev(alpha, beta Curve) (*big.Rat, bool) {
+	if beta.tail != nil && alpha.tail.Cmp(beta.tail) > 0 {
+		return nil, false
+	}
+	best := new(big.Rat)
+	consider := func(x *big.Rat) {
+		av, ok1 := alpha.Eval(x)
+		bv, ok2 := beta.Eval(x)
+		if !ok1 || !ok2 {
+			return
+		}
+		d := new(big.Rat).Sub(av, bv)
+		if d.Cmp(best) > 0 {
+			best = d
+		}
+	}
+	// alpha - beta is concave, so the sup sits at a breakpoint of either
+	// curve (or at 0+, covered since both curves have an x=0 breakpoint).
+	// Past a nil-tail beta's last breakpoint the deviation is -inf.
+	for _, p := range alpha.pts {
+		consider(p.x)
+	}
+	for _, p := range beta.pts {
+		consider(p.x)
+	}
+	return best, true
+}
+
+// betaInv returns inf{ s : beta(s) >= y } for convex nondecreasing beta; ok
+// is false when no such s exists (beta plateaus below y).
+func betaInv(beta Curve, y *big.Rat) (*big.Rat, bool) {
+	if y.Sign() <= 0 {
+		return new(big.Rat), true
+	}
+	for i, p := range beta.pts {
+		if p.y.Cmp(y) >= 0 {
+			// Reached within segment i-1 (or exactly at a breakpoint).
+			a := beta.pts[i-1] // i > 0: pts[0].y = 0 < y
+			s := beta.slopeAt(i - 1)
+			if s.Sign() == 0 {
+				return new(big.Rat).Set(a.x), true // jumped at a kink; cannot happen mid-plateau
+			}
+			d := new(big.Rat).Sub(y, a.y)
+			d.Quo(d, s)
+			return d.Add(d, a.x), true
+		}
+	}
+	lp := beta.last()
+	if beta.tail == nil {
+		// beta is +inf immediately past lp.x, so the infimum is lp.x.
+		return new(big.Rat).Set(lp.x), true
+	}
+	if beta.tail.Sign() == 0 {
+		return nil, false
+	}
+	d := new(big.Rat).Sub(y, lp.y)
+	d.Quo(d, beta.tail)
+	return d.Add(d, lp.x), true
+}
+
+// HDev returns the maximum horizontal deviation — the delay bound
+// sup_t inf{ d : alpha(t) <= beta(t+d) } — for concave alpha (finite tail)
+// and convex beta. ok is false when the delay is unbounded.
+func HDev(alpha, beta Curve) (*big.Rat, bool) {
+	betaRate := beta.tail // nil = +inf
+	if betaRate != nil {
+		if betaRate.Sign() == 0 {
+			// beta plateaus: bounded only if alpha plateaus at or below it.
+			if alpha.tail.Sign() > 0 {
+				return nil, false
+			}
+			lv := alpha.last().y
+			if bv, ok := beta.Eval(new(big.Rat).Add(beta.last().x, ratI(1))); !ok || lv.Cmp(bv) > 0 {
+				if !ok || lv.Sign() > 0 {
+					return nil, false
+				}
+			}
+		} else if alpha.tail.Cmp(betaRate) > 0 {
+			return nil, false
+		}
+	}
+	// d(t) = betaInv(alpha(t+)) - t is piecewise affine; its kinks occur at
+	// alpha's breakpoints and at preimages (under alpha) of beta's
+	// breakpoint ordinates. Beyond the last kink d is affine with
+	// non-positive slope (alpha rate <= beta rate), so the sup is attained
+	// at a candidate — plus one sentinel past the last kink to cover the
+	// equal-rates plateau.
+	var cands []*big.Rat
+	maxC := new(big.Rat)
+	add := func(t *big.Rat) {
+		if t.Sign() < 0 {
+			return
+		}
+		cands = append(cands, t)
+		if t.Cmp(maxC) > 0 {
+			maxC = t
+		}
+	}
+	add(new(big.Rat)) // t = 0+: the burst
+	for _, p := range alpha.pts {
+		add(p.x)
+	}
+	for _, p := range beta.pts {
+		if t, ok := alphaPreimage(alpha, p.y); ok {
+			add(t)
+		}
+	}
+	add(new(big.Rat).Add(maxC, ratI(1)))
+	best := new(big.Rat)
+	for _, t := range cands {
+		av, _ := alpha.Eval(t)
+		s, ok := betaInv(beta, av)
+		if !ok {
+			return nil, false
+		}
+		d := new(big.Rat).Sub(s, t)
+		if d.Cmp(best) > 0 {
+			best = d
+		}
+	}
+	return best, true
+}
+
+// alphaPreimage returns some t with alpha(t+) = y for nondecreasing concave
+// alpha; ok is false when y is below alpha(0+) or above alpha's range.
+func alphaPreimage(alpha Curve, y *big.Rat) (*big.Rat, bool) {
+	if y.Cmp(alpha.pts[0].y) < 0 {
+		return nil, false
+	}
+	for i := 0; i+1 < len(alpha.pts); i++ {
+		if alpha.pts[i+1].y.Cmp(y) >= 0 {
+			s := alpha.slopeAt(i)
+			if s.Sign() == 0 {
+				return new(big.Rat).Set(alpha.pts[i].x), true
+			}
+			d := new(big.Rat).Sub(y, alpha.pts[i].y)
+			d.Quo(d, s)
+			return d.Add(d, alpha.pts[i].x), true
+		}
+	}
+	lp := alpha.last()
+	if alpha.tail.Sign() == 0 {
+		if lp.y.Cmp(y) >= 0 {
+			return new(big.Rat).Set(lp.x), true
+		}
+		return nil, false
+	}
+	d := new(big.Rat).Sub(y, lp.y)
+	d.Quo(d, alpha.tail)
+	return d.Add(d, lp.x), true
+}
+
+// DelayedOutput returns the arrival curve of a flow after a stage that
+// delays it by at most d: alpha'(t) = alpha(t + d). This is the TFA output
+// propagation rule (a left shift).
+func (c Curve) DelayedOutput(d *big.Rat) Curve {
+	if d.Sign() <= 0 {
+		return c
+	}
+	if c.tail == nil {
+		panic("netcalc: DelayedOutput requires a finite-tailed arrival curve")
+	}
+	y0, _ := c.Eval(d)
+	pts := []point{{x: new(big.Rat), y: y0}}
+	for _, p := range c.pts {
+		if p.x.Cmp(d) <= 0 {
+			continue
+		}
+		pts = append(pts, point{x: new(big.Rat).Sub(p.x, d), y: new(big.Rat).Set(p.y)})
+	}
+	return normalize(pts, new(big.Rat).Set(c.tail))
+}
+
+// String renders the curve for logs and error messages.
+func (c Curve) String() string {
+	var sb strings.Builder
+	for i, p := range c.pts {
+		if i > 0 {
+			sb.WriteString(" ")
+		}
+		fmt.Fprintf(&sb, "(%s,%s)", p.x.RatString(), p.y.RatString())
+	}
+	if c.tail == nil {
+		sb.WriteString(" then +inf")
+	} else {
+		fmt.Fprintf(&sb, " slope %s", c.tail.RatString())
+	}
+	return sb.String()
+}

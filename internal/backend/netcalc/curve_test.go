@@ -1,0 +1,286 @@
+package netcalc
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// evalOK evaluates and fails the test on +inf.
+func evalOK(t *testing.T, c Curve, x *big.Rat) *big.Rat {
+	t.Helper()
+	v, ok := c.Eval(x)
+	if !ok {
+		t.Fatalf("Eval(%s) on %s: unexpectedly +inf", x.RatString(), c)
+	}
+	return v
+}
+
+func wantRat(t *testing.T, got *big.Rat, num, den int64) {
+	t.Helper()
+	if want := big.NewRat(num, den); got.Cmp(want) != 0 {
+		t.Fatalf("got %s, want %s", got.RatString(), want.RatString())
+	}
+}
+
+// TestClosedForms pins the textbook identities the rest of the backend
+// leans on.
+func TestClosedForms(t *testing.T) {
+	// beta_{2,1} (x) beta_{3,2} = beta_{2,3}.
+	conv := ConvolveConvex(RateLatency(ratI(2), ratI(1)), RateLatency(ratI(3), ratI(2)))
+	for _, tc := range []struct{ x, num, den int64 }{{0, 0, 1}, {3, 0, 1}, {4, 2, 1}, {10, 14, 1}} {
+		wantRat(t, evalOK(t, conv, ratI(tc.x)), tc.num, tc.den)
+	}
+
+	// gamma_{r,b} (/) beta_{R,L} = gamma_{r, b+rL} (r=2, b=3, R=5, L=2).
+	dec, ok := Deconvolve(TokenBucket(ratI(2), ratI(3)), RateLatency(ratI(5), ratI(2)))
+	if !ok {
+		t.Fatal("deconvolution unexpectedly unbounded")
+	}
+	wantRat(t, evalOK(t, dec, ratI(0)), 7, 1)  // b + rL = 3 + 4
+	wantRat(t, evalOK(t, dec, ratI(3)), 13, 1) // 7 + 2*3
+
+	// vdev(gamma_{r,b}, beta_{R,L}) = b + rL; hdev = L + b/R.
+	v, ok := VDev(TokenBucket(ratI(2), ratI(3)), RateLatency(ratI(5), ratI(2)))
+	if !ok {
+		t.Fatal("vdev unexpectedly unbounded")
+	}
+	wantRat(t, v, 7, 1)
+	h, ok := HDev(TokenBucket(ratI(2), ratI(3)), RateLatency(ratI(5), ratI(2)))
+	if !ok {
+		t.Fatal("hdev unexpectedly unbounded")
+	}
+	wantRat(t, h, 13, 5) // 2 + 3/5
+
+	// Pure delay: hdev(alpha, delta_d) = d regardless of alpha's shape.
+	h, ok = HDev(TokenBucket(ratI(7), ratI(100)), Delay(ratI(4)))
+	if !ok {
+		t.Fatal("hdev vs delta unexpectedly unbounded")
+	}
+	wantRat(t, h, 4, 1)
+
+	// Unbounded detection: sustained rate above service rate.
+	if _, ok := VDev(TokenBucket(ratI(3), ratI(1)), RateLatency(ratI(2), ratI(0))); ok {
+		t.Fatal("vdev should be unbounded when r > R")
+	}
+	if _, ok := HDev(TokenBucket(ratI(3), ratI(1)), RateLatency(ratI(2), ratI(0))); ok {
+		t.Fatal("hdev should be unbounded when r > R")
+	}
+	// Equal rates stay bounded.
+	h, ok = HDev(TokenBucket(ratI(2), ratI(4)), RateLatency(ratI(2), ratI(1)))
+	if !ok {
+		t.Fatal("hdev with equal rates should be bounded")
+	}
+	wantRat(t, h, 3, 1) // L + b/R = 1 + 2
+}
+
+// randConcave samples a concave arrival curve as the min of up to 3 token
+// buckets with small integer parameters.
+func randConcave(rng *rand.Rand) Curve {
+	c := TokenBucket(ratI(int64(rng.Intn(5))), ratI(int64(1+rng.Intn(6))))
+	for i := rng.Intn(3); i > 0; i-- {
+		c = Min(c, TokenBucket(ratI(int64(rng.Intn(5))), ratI(int64(1+rng.Intn(6)))))
+	}
+	return c
+}
+
+// randConvex samples a convex service curve as the convolution of up to 3
+// rate-latency curves with small integer parameters.
+func randConvex(rng *rand.Rand) Curve {
+	c := RateLatency(ratI(int64(1+rng.Intn(5))), ratI(int64(rng.Intn(4))))
+	for i := rng.Intn(3); i > 0; i-- {
+		c = ConvolveConvex(c, RateLatency(ratI(int64(1+rng.Intn(5))), ratI(int64(rng.Intn(4)))))
+	}
+	return c
+}
+
+// sampleXs is a quarter-integer grid covering every kink the small integer
+// parameters above can produce.
+func sampleXs() []*big.Rat {
+	var xs []*big.Rat
+	for i := int64(0); i <= 80; i++ {
+		xs = append(xs, rat(i, 4))
+	}
+	return xs
+}
+
+// TestConcaveConvolutionProperties: commutativity, associativity and
+// monotonicity of the concave (min,+) convolution on sampled curves.
+func TestConcaveConvolutionProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	xs := sampleXs()
+	for iter := 0; iter < 50; iter++ {
+		f, g, h := randConcave(rng), randConcave(rng), randConcave(rng)
+		fg := ConvolveConcave(f, g)
+		gf := ConvolveConcave(g, f)
+		l := ConvolveConcave(fg, h)
+		r := ConvolveConcave(f, ConvolveConcave(g, h))
+		for _, x := range xs {
+			if evalOK(t, fg, x).Cmp(evalOK(t, gf, x)) != 0 {
+				t.Fatalf("commutativity broken at %s: f=%s g=%s", x.RatString(), f, g)
+			}
+			if evalOK(t, l, x).Cmp(evalOK(t, r, x)) != 0 {
+				t.Fatalf("associativity broken at %s: f=%s g=%s h=%s", x.RatString(), f, g, h)
+			}
+			// Monotone: conv never exceeds either operand.
+			if v := evalOK(t, fg, x); v.Cmp(evalOK(t, f, x)) > 0 || v.Cmp(evalOK(t, g, x)) > 0 {
+				t.Fatalf("conv exceeds an operand at %s: f=%s g=%s", x.RatString(), f, g)
+			}
+		}
+	}
+}
+
+// TestConvexConvolutionProperties: associativity plus the defining
+// inequality conv(f,g)(x+y) <= f(x) + g(y), with equality attained on the
+// integer grid (all kinks are integral for integer parameters).
+func TestConvexConvolutionProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 50; iter++ {
+		f, g, h := randConvex(rng), randConvex(rng), randConvex(rng)
+		fg := ConvolveConvex(f, g)
+		l := ConvolveConvex(fg, h)
+		r := ConvolveConvex(f, ConvolveConvex(g, h))
+		for i := int64(0); i <= 20; i++ {
+			x := ratI(i)
+			lv := evalOK(t, l, x)
+			if lv.Cmp(evalOK(t, r, x)) != 0 {
+				t.Fatalf("associativity broken at %d: f=%s g=%s h=%s", i, f, g, h)
+			}
+			// Defining infimum: conv(t) = inf_u f(u) + g(t-u); check <= on
+			// every integer split and equality for some split.
+			cv := evalOK(t, fg, x)
+			attained := false
+			for u := int64(0); u <= i; u++ {
+				s := new(big.Rat).Add(evalOK(t, f, ratI(u)), evalOK(t, g, ratI(i-u)))
+				if cv.Cmp(s) > 0 {
+					t.Fatalf("conv above a split at t=%d u=%d: f=%s g=%s", i, u, f, g)
+				}
+				if cv.Cmp(s) == 0 {
+					attained = true
+				}
+			}
+			if !attained {
+				t.Fatalf("conv infimum not attained on grid at t=%d: f=%s g=%s", i, f, g)
+			}
+		}
+	}
+}
+
+// TestDeconvolutionIdentities: the deconvolution evaluated at 0+ is the
+// vertical deviation, and the output curve dominates the input shifted
+// through the server (alpha (/) beta >= alpha - "what beta guarantees").
+func TestDeconvolutionIdentities(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	xs := sampleXs()
+	for iter := 0; iter < 50; iter++ {
+		alpha, beta := randConcave(rng), randConvex(rng)
+		dec, okD := Deconvolve(alpha, beta)
+		v, okV := VDev(alpha, beta)
+		if okD != okV {
+			t.Fatalf("deconv/vdev boundedness disagree: alpha=%s beta=%s", alpha, beta)
+		}
+		if !okD {
+			continue
+		}
+		if evalOK(t, dec, ratI(0)).Cmp(v) != 0 {
+			t.Fatalf("(alpha (/) beta)(0) != vdev: alpha=%s beta=%s", alpha, beta)
+		}
+		// Definition: dec(t) >= alpha(t+u) - beta(u) for all t, u >= 0.
+		for _, x := range xs[:40] {
+			dv := evalOK(t, dec, x)
+			for u := int64(0); u <= 10; u++ {
+				av := evalOK(t, alpha, new(big.Rat).Add(x, ratI(u)))
+				bv := evalOK(t, beta, ratI(u))
+				if diff := new(big.Rat).Sub(av, bv); dv.Cmp(diff) < 0 {
+					t.Fatalf("deconv not dominating at t=%s u=%d: alpha=%s beta=%s", x.RatString(), u, alpha, beta)
+				}
+			}
+		}
+	}
+}
+
+// TestMinMaxPointwise checks Min/Max against direct evaluation.
+func TestMinMaxPointwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	xs := sampleXs()
+	for iter := 0; iter < 50; iter++ {
+		f, g := randConcave(rng), randConvex(rng)
+		mx := Max(f, g)
+		for _, x := range xs {
+			fv, gv := evalOK(t, f, x), evalOK(t, g, x)
+			want := fv
+			if gv.Cmp(fv) > 0 {
+				want = gv
+			}
+			if evalOK(t, mx, x).Cmp(want) != 0 {
+				t.Fatalf("max wrong at %s: f=%s g=%s", x.RatString(), f, g)
+			}
+		}
+		f2 := randConcave(rng)
+		mn := Min(f, f2)
+		for _, x := range xs {
+			fv, gv := evalOK(t, f, x), evalOK(t, f2, x)
+			want := fv
+			if gv.Cmp(fv) < 0 {
+				want = gv
+			}
+			if evalOK(t, mn, x).Cmp(want) != 0 {
+				t.Fatalf("min wrong at %s: f=%s g=%s", x.RatString(), f, f2)
+			}
+		}
+	}
+}
+
+// TestDelayedOutput: shifting left by d matches evaluating at t + d.
+func TestDelayedOutput(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for iter := 0; iter < 50; iter++ {
+		alpha := randConcave(rng)
+		d := rat(int64(rng.Intn(12)), int64(1+rng.Intn(3)))
+		shifted := alpha.DelayedOutput(d)
+		for i := int64(0); i <= 40; i++ {
+			x := rat(i, 2)
+			want := evalOK(t, alpha, new(big.Rat).Add(x, d))
+			if evalOK(t, shifted, x).Cmp(want) != 0 {
+				t.Fatalf("DelayedOutput wrong at %s (d=%s): alpha=%s", x.RatString(), d.RatString(), alpha)
+			}
+		}
+	}
+}
+
+// TestDeviationSoundness cross-checks both deviations against their
+// defining inequalities on a dense grid: alpha(t) - beta(t) <= vdev for
+// every t, and beta(t + hdev + eps) >= alpha(t) for every t (eps absorbs
+// infima that are approached but not attained, e.g. against pure delays).
+func TestDeviationSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	eps := rat(1, 1000)
+	for iter := 0; iter < 50; iter++ {
+		alpha, beta := randConcave(rng), randConvex(rng)
+		if h, ok := HDev(alpha, beta); ok {
+			for i := int64(0); i <= 80; i++ {
+				x := rat(i, 2)
+				av := evalOK(t, alpha, x)
+				probe := new(big.Rat).Add(x, h)
+				probe.Add(probe, eps)
+				if bv, okB := beta.Eval(probe); okB && bv.Cmp(av) < 0 {
+					t.Fatalf("hdev %s too small at t=%s: alpha=%s beta=%s",
+						h.RatString(), x.RatString(), alpha, beta)
+				}
+			}
+		}
+		if v, ok := VDev(alpha, beta); ok {
+			for i := int64(0); i <= 80; i++ {
+				x := rat(i, 2)
+				bv, okB := beta.Eval(x)
+				if !okB {
+					continue
+				}
+				if d := new(big.Rat).Sub(evalOK(t, alpha, x), bv); d.Cmp(v) > 0 {
+					t.Fatalf("vdev %s too small at t=%s: alpha=%s beta=%s",
+						v.RatString(), x.RatString(), alpha, beta)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package netcalc_test
+
+import (
+	"context"
+	"errors"
+	"math/big"
+	"testing"
+	"time"
+
+	"buffy/internal/backend/netcalc"
+	"buffy/internal/qm"
+)
+
+// TestCorpusDomination is the headline differential: on every bounded
+// corpus instance the analytical bound must dominate any concrete
+// backlog/delay the SMT backend can witness at horizon T (UNSAT on the
+// violation query), and every entry's boundedness must match expectation.
+func TestCorpusDomination(t *testing.T) {
+	for _, e := range netcalc.Corpus() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			t.Parallel()
+			info, err := qm.Load(e.Src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := netcalc.Analyze(context.Background(), info, e.NetOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Bounded != e.Bounded {
+				t.Fatalf("bounded = %v, corpus expects %v", r.Bounded, e.Bounded)
+			}
+			report, err := netcalc.CrossCheck(context.Background(), info, r,
+				netcalc.CrossCheckOptions{IR: e.IROptions()})
+			if err != nil {
+				t.Fatalf("cross-check: %v", err)
+			}
+			if !e.Bounded {
+				if report.Status != "skipped-unbounded" {
+					t.Fatalf("unbounded entry status = %q", report.Status)
+				}
+				return
+			}
+			if report.Status != "dominated" {
+				t.Fatalf("status = %q (stop: %s, witness: %s)", report.Status, report.Stop, report.Witness)
+			}
+			t.Logf("%s: delay <= %s steps, backlog <= %s pkts, dominated at T=%d in %v",
+				e.Name, r.Delay.RatString(), r.Backlog.RatString(), report.T, report.Duration)
+		})
+	}
+}
+
+// TestDisagreementIsHardError plants an artificially tightened bound and
+// expects the harness to surface ErrDisagreement: the SMT side can reach a
+// victim backlog of 1 in the sptandem queues (burst into vq1 while the
+// high-priority flow takes the slot), so a claimed bound of 0 must be
+// refuted.
+func TestDisagreementIsHardError(t *testing.T) {
+	var entry netcalc.CorpusEntry
+	for _, e := range netcalc.Corpus() {
+		if e.Name == "sptandem" {
+			entry = e
+		}
+	}
+	info, err := qm.Load(entry.Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := netcalc.Analyze(context.Background(), info, entry.NetOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Bounded {
+		t.Fatal("sptandem should be bounded")
+	}
+	r.Backlog = new(big.Rat) // claim an impossible backlog bound of 0
+	report, err := netcalc.CrossCheck(context.Background(), info, r,
+		netcalc.CrossCheckOptions{IR: entry.IROptions()})
+	if !errors.Is(err, netcalc.ErrDisagreement) {
+		t.Fatalf("want ErrDisagreement, got %v (status %q)", err, report.Status)
+	}
+	if report.Status != "disagreement" || report.Witness == "" {
+		t.Fatalf("report = %+v", report)
+	}
+}
+
+// TestBoundLatency asserts the acceptance criterion: every corpus model
+// answers its bound query via netcalc in under a millisecond.
+func TestBoundLatency(t *testing.T) {
+	for _, e := range netcalc.Corpus() {
+		info, err := qm.Load(e.Src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Warm once (first-call allocations), then measure.
+		if _, err := netcalc.Analyze(context.Background(), info, e.NetOptions()); err != nil {
+			t.Fatal(err)
+		}
+		start := time.Now()
+		r, err := netcalc.Analyze(context.Background(), info, e.NetOptions())
+		elapsed := time.Since(start)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if elapsed >= time.Millisecond {
+			t.Errorf("%s: bound query took %v, want < 1ms", e.Name, elapsed)
+		}
+		t.Logf("%s: %v (bounded=%v)", e.Name, elapsed, r.Bounded)
+	}
+}
+
+// TestUnsupportedProgram: programs without a lowering get a clear error.
+func TestUnsupportedProgram(t *testing.T) {
+	info, err := qm.Load(qm.FQBuggySrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := netcalc.Analyze(context.Background(), info, netcalc.Options{}); err == nil {
+		t.Fatal("fq has no lowering; Analyze should error")
+	}
+}

@@ -1,0 +1,171 @@
+package netcalc
+
+import (
+	"testing"
+)
+
+// spTandemNet is the strict-priority tandem used throughout: two servers of
+// rate 3, a high-priority token-bucket flow (rate 1, burst 2) at each hop,
+// and a shaped victim (rate 1, burst 2) crossing both.
+func spTandemNet() *Network {
+	return &Network{
+		Servers: []*Server{
+			{Name: "hop1", Beta: RateLatency(ratI(3), ratI(0)), Mux: MuxPriority,
+				Prio: map[string]int{"h1": 0, "v": 1}},
+			{Name: "hop2", Beta: RateLatency(ratI(3), ratI(0)), Mux: MuxPriority,
+				Prio: map[string]int{"h2": 0, "v": 1}},
+		},
+		Flows: []*Flow{
+			{Name: "h1", Alpha: TokenBucket(ratI(1), ratI(2)), Path: []string{"hop1"}},
+			{Name: "h2", Alpha: TokenBucket(ratI(1), ratI(2)), Path: []string{"hop2"}},
+			{Name: "v", Alpha: TokenBucket(ratI(1), ratI(2)), Path: []string{"hop1", "hop2"}},
+		},
+	}
+}
+
+func flowBounds(t *testing.T, bounds []FlowBounds, name string) FlowBounds {
+	t.Helper()
+	for _, fb := range bounds {
+		if fb.Flow == name {
+			return fb
+		}
+	}
+	t.Fatalf("no bounds for flow %q", name)
+	return FlowBounds{}
+}
+
+// TestSPTandemHandComputed pins the tandem's bounds to hand-derived values:
+// the victim's residual at each hop is beta_{2,1}, so SFA sees the
+// end-to-end curve beta_{2,2} (pay latency once) while TFA pays the burst
+// at both hops.
+func TestSPTandemHandComputed(t *testing.T) {
+	bounds, err := spTandemNet().Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := flowBounds(t, bounds, "v")
+	if !v.SFA.Bounded || !v.TFA.Bounded {
+		t.Fatalf("victim should be bounded: %+v", v)
+	}
+	// SFA: hdev(gamma_{1,2}, beta_{2,2}) = 2 + 2/2 = 3; vdev = alpha(2) = 4.
+	wantRat(t, v.SFA.Delay, 3, 1)
+	wantRat(t, v.SFA.Backlog, 4, 1)
+	// TFA: hop1 d = hdev(gamma_{1,2}, beta_{2,1}) = 2, q = vdev = 3; the
+	// output curve gamma_{1,4} then meets hop2's beta_{2,1}: d = 3, q = 5.
+	wantRat(t, v.TFA.Delay, 5, 1)
+	wantRat(t, v.TFA.Backlog, 8, 1)
+	// Best takes SFA here.
+	wantRat(t, v.Best.Delay, 3, 1)
+	wantRat(t, v.Best.Backlog, 4, 1)
+
+	// The high-priority flows see the full server: hdev(gamma_{1,2},
+	// beta_{3,0}) = 2/3, vdev = 2.
+	h1 := flowBounds(t, bounds, "h1")
+	wantRat(t, h1.Best.Delay, 2, 3)
+	wantRat(t, h1.Best.Backlog, 2, 1)
+}
+
+// TestUnboundedFlow: sustained arrival rate above the service rate is
+// reported as unbounded, not an error.
+func TestUnboundedFlow(t *testing.T) {
+	n := &Network{
+		Servers: []*Server{{Name: "s", Beta: RateLatency(ratI(1), ratI(0)), Mux: MuxAggregate}},
+		Flows: []*Flow{
+			{Name: "a", Alpha: TokenBucket(ratI(1), ratI(1)), Path: []string{"s"}},
+			{Name: "b", Alpha: TokenBucket(ratI(1), ratI(1)), Path: []string{"s"}},
+		},
+	}
+	bounds, err := n.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fb := range bounds {
+		if fb.Best.Bounded {
+			t.Fatalf("flow %s should be unbounded (aggregate rate 2 > service rate 1)", fb.Flow)
+		}
+	}
+}
+
+// TestGuaranteedMux: a round-robin-style latency-rate guarantee
+// beta_{1/2,1} bounds a gamma_{1/3,1} flow at delay 1 + 1/(1/2) = 3.
+func TestGuaranteedMux(t *testing.T) {
+	n := &Network{
+		Servers: []*Server{{
+			Name: "rr", Beta: RateLatency(ratI(1), ratI(0)), Mux: MuxGuaranteed,
+			Guaranteed: map[string]Curve{
+				"f": RateLatency(rat(1, 2), ratI(1)),
+			},
+		}},
+		Flows: []*Flow{{Name: "f", Alpha: TokenBucket(rat(1, 3), ratI(1)), Path: []string{"rr"}}},
+	}
+	bounds, err := n.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := flowBounds(t, bounds, "f")
+	wantRat(t, f.Best.Delay, 3, 1)
+	// vdev(gamma_{1/3,1}, beta_{1/2,1}) = 1 + 1/3 (at the latency kink).
+	wantRat(t, f.Best.Backlog, 4, 3)
+}
+
+// TestAggregateFIFO: two flows FIFO-sharing a server; both see the
+// aggregate delay hdev(gamma_{2,3}, beta_{3,1}) = 1 + 3/3 = 2, and each
+// flow's backlog bound is its own curve at that delay.
+func TestAggregateFIFO(t *testing.T) {
+	n := &Network{
+		Servers: []*Server{{Name: "s", Beta: RateLatency(ratI(3), ratI(1)), Mux: MuxAggregate}},
+		Flows: []*Flow{
+			{Name: "a", Alpha: TokenBucket(ratI(1), ratI(1)), Path: []string{"s"}},
+			{Name: "b", Alpha: TokenBucket(ratI(1), ratI(2)), Path: []string{"s"}},
+		},
+	}
+	bounds, err := n.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := flowBounds(t, bounds, "a")
+	wantRat(t, a.TFA.Delay, 2, 1)
+	wantRat(t, a.TFA.Backlog, 3, 1) // gamma_{1,1}(2) = 3
+	b := flowBounds(t, bounds, "b")
+	wantRat(t, b.TFA.Delay, 2, 1)
+	wantRat(t, b.TFA.Backlog, 4, 1) // gamma_{1,2}(2) = 4
+}
+
+// TestPureDelayChain: delta stages add their delay and keep flows bounded.
+func TestPureDelayChain(t *testing.T) {
+	n := &Network{
+		Servers: []*Server{
+			{Name: "d1", Beta: Delay(ratI(1)), Mux: MuxAggregate},
+			{Name: "d2", Beta: Delay(ratI(1)), Mux: MuxAggregate},
+		},
+		Flows: []*Flow{{Name: "f", Alpha: TokenBucket(ratI(1), ratI(1)), Path: []string{"d1", "d2"}}},
+	}
+	bounds, err := n.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := flowBounds(t, bounds, "f")
+	if !f.Best.Bounded {
+		t.Fatal("delay chain should be bounded")
+	}
+	// SFA: delta_1 (x) delta_1 = delta_2; hdev = 2.
+	wantRat(t, f.SFA.Delay, 2, 1)
+	wantRat(t, f.TFA.Delay, 2, 1)
+}
+
+// TestCycleRejected: cyclic topologies are a malformed-network error.
+func TestCycleRejected(t *testing.T) {
+	n := &Network{
+		Servers: []*Server{
+			{Name: "a", Beta: RateLatency(ratI(2), ratI(0)), Mux: MuxAggregate},
+			{Name: "b", Beta: RateLatency(ratI(2), ratI(0)), Mux: MuxAggregate},
+		},
+		Flows: []*Flow{
+			{Name: "f", Alpha: TokenBucket(ratI(1), ratI(1)), Path: []string{"a", "b"}},
+			{Name: "g", Alpha: TokenBucket(ratI(1), ratI(1)), Path: []string{"b", "a"}},
+		},
+	}
+	if _, err := n.Analyze(); err == nil {
+		t.Fatal("cyclic topology should be rejected")
+	}
+}

@@ -19,6 +19,7 @@ import (
 
 	"buffy/internal/backend/dafny"
 	"buffy/internal/backend/fperf"
+	"buffy/internal/backend/netcalc"
 	"buffy/internal/backend/smtbe"
 	"buffy/internal/backend/ts"
 	"buffy/internal/buffer"
@@ -118,6 +119,9 @@ type Analysis struct {
 	Progress *sat.Progress
 	// K is the induction depth for ProveForAllHorizons (default 1).
 	K int
+	// CrossCheck makes Bound differentially validate its analytical bounds
+	// against the SMT backend at horizon T (ErrDisagreement on violation).
+	CrossCheck bool
 }
 
 func (a Analysis) irOptions() (ir.Options, error) {
@@ -211,6 +215,39 @@ func (p *Program) portfolioCheck(ctx context.Context, a Analysis, mode smtbe.Mod
 		N:    a.Portfolio,
 		Base: smtbe.Options{IR: iro, Solver: a.solverOptions(), Mode: mode},
 	})
+}
+
+// Bound runs the network-calculus back-end: analytical worst-case delay
+// and backlog bounds for the program's victim flow, answered in
+// microseconds (min-plus algebra, no solver search, no horizon). With
+// a.CrossCheck set it additionally proves at horizon a.T that the bounds
+// dominate every execution the SMT backend can reach — a SAT witness
+// beyond the bound is the hard error netcalc.ErrDisagreement.
+func (p *Program) Bound(a Analysis) (*netcalc.Result, error) {
+	return p.BoundContext(context.Background(), a)
+}
+
+// BoundContext is Bound with cooperative cancellation (only the optional
+// differential cross-check solve can block; the bound itself is instant).
+func (p *Program) BoundContext(ctx context.Context, a Analysis) (*netcalc.Result, error) {
+	r, err := netcalc.Analyze(ctx, p.Info, netcalc.Options{
+		Params: a.Params, ArrivalsPerStep: a.ArrivalsPerStep,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if a.CrossCheck {
+		iro, err := a.irOptions()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := netcalc.CrossCheck(ctx, p.Info, r, netcalc.CrossCheckOptions{
+			IR: iro, Solver: a.solverOptions(),
+		}); err != nil {
+			return r, err
+		}
+	}
+	return r, nil
 }
 
 // SynthesizeWorkload runs the FPerf-style back-end: find input-traffic

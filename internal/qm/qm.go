@@ -118,6 +118,26 @@ var DRRSrc string
 //go:embed models/shaper.buffy
 var ShaperSrc string
 
+// TBRLSrc is a BASEL-style token-bucket → rate-latency tandem: a regulator
+// admits traffic from src into the queue q at rate RATE with burst BURST,
+// and a constant-rate server drains q at C packets per step (RATE <= C).
+// The dep monitor counts departures, giving bound queries a departure
+// clock. The netcalc backend bounds q's backlog by BURST (the asserted
+// invariant) and the queueing delay by BURST/C.
+//
+//go:embed models/tbrl.buffy
+var TBRLSrc string
+
+// SPTandemSrc is a two-hop strict-priority tandem with a shaped
+// low-priority victim flow: at each hop a token-bucket-regulated
+// high-priority cross flow (rate RH, burst BH) preempts the victim
+// (rate RV, burst BV) on a server of rate C. The victim traverses both
+// hops (vraw → vq1 → vq2 → vout); vdep counts its departures. This is the
+// classic "pay bursts only once" topology where SFA beats hop-by-hop TFA.
+//
+//go:embed models/sptandem.buffy
+var SPTandemSrc string
+
 // Load parses and checks a Buffy source.
 func Load(src string) (*typecheck.Info, error) {
 	prog, err := parser.Parse(src)

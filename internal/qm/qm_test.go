@@ -17,6 +17,7 @@ func TestAllModelsLoad(t *testing.T) {
 		"sp": qm.SPSrc, "sp-query": qm.SPQuerySrc,
 		"path": qm.PathServerSrc, "delay": qm.DelaySrc,
 		"aimd": qm.AIMDSrc, "shaper": qm.ShaperSrc,
+		"tbrl": qm.TBRLSrc, "sptandem": qm.SPTandemSrc,
 	}
 	for name, src := range srcs {
 		if _, err := qm.Load(src); err != nil {
@@ -67,6 +68,36 @@ func TestShaperEnvelopeHolds(t *testing.T) {
 	}
 	if res.Status != smtbe.Holds {
 		t.Fatalf("shaper envelope: %v\n%v", res.Status, res.Trace)
+	}
+}
+
+// The regulator invariants of the two netcalc corpus models hold on all
+// executions: shaped queues stay within their configured bursts.
+func TestNetcalcModelsInvariantsHold(t *testing.T) {
+	cases := []struct {
+		name, src string
+		params    map[string]int64
+	}{
+		{"tbrl", qm.TBRLSrc, map[string]int64{"RATE": 1, "BURST": 3, "C": 2}},
+		{"sptandem", qm.SPTandemSrc, map[string]int64{"RH": 1, "BH": 2, "RV": 1, "BV": 2, "C": 3}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			info, err := qm.Load(tc.src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := smtbe.Check(info, smtbe.Options{
+				IR:   ir.Options{T: 4, Params: tc.params, ArrivalsPerStep: 2, BufferCap: 16},
+				Mode: smtbe.Verify,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Status != smtbe.Holds {
+				t.Fatalf("%s invariants: %v\n%v", tc.name, res.Status, res.Trace)
+			}
+		})
 	}
 }
 

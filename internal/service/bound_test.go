@@ -1,0 +1,109 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"buffy/internal/backend/netcalc"
+	"buffy/internal/qm"
+)
+
+// TestHTTPBoundFlow: a cross-checked bound query over HTTP answers
+// "bounded" with exact rational bounds and a "dominated" differential
+// report, and the repeat is served from cache.
+func TestHTTPBoundFlow(t *testing.T) {
+	_, srv := newTestServer(t, Config{Workers: 2})
+	req := map[string]any{
+		"source": qm.TBRLSrc, "t": 6, "model": "count",
+		"params":            map[string]int64{"RATE": 1, "BURST": 3, "C": 2},
+		"arrivals_per_step": 2, "buffer_cap": 16,
+		"cross_check": true,
+	}
+
+	resp1, body1 := postJSON(t, srv.URL+"/v1/bound", req)
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("first POST: %d: %s", resp1.StatusCode, body1)
+	}
+	var v1 JobView
+	if err := json.Unmarshal(body1, &v1); err != nil {
+		t.Fatal(err)
+	}
+	if v1.State != StateDone || v1.Result == nil || v1.Result.Status != "bounded" {
+		t.Fatalf("first response: %s", body1)
+	}
+	if v1.Result.Delay != "3/2" || v1.Result.Backlog != "3" {
+		t.Errorf("bounds = (%s, %s), want (3/2, 3)", v1.Result.Delay, v1.Result.Backlog)
+	}
+	if v1.Result.CrossCheck == nil || v1.Result.CrossCheck.Status != "dominated" {
+		t.Fatalf("cross-check missing or not dominated: %s", body1)
+	}
+
+	resp2, body2 := postJSON(t, srv.URL+"/v1/bound", req)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("second POST: %d: %s", resp2.StatusCode, body2)
+	}
+	var v2 JobView
+	if err := json.Unmarshal(body2, &v2); err != nil {
+		t.Fatal(err)
+	}
+	if v2.Result == nil || !v2.Result.CacheHit {
+		t.Fatalf("second response not a cache hit: %s", body2)
+	}
+	if v2.Result.Delay != v1.Result.Delay || v2.Result.Backlog != v1.Result.Backlog {
+		t.Error("cached bound differs from the original")
+	}
+}
+
+// TestHTTPBoundUnbounded: "unbounded" is a definite, cacheable answer.
+func TestHTTPBoundUnbounded(t *testing.T) {
+	e, srv := newTestServer(t, Config{Workers: 1})
+	req := map[string]any{
+		"source": qm.SPQuerySrc, "t": 4,
+		"params": map[string]int64{"N": 2},
+	}
+	resp, body := postJSON(t, srv.URL+"/v1/bound", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST: %d: %s", resp.StatusCode, body)
+	}
+	var v JobView
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.Result == nil || v.Result.Status != "unbounded" {
+		t.Fatalf("response: %s", body)
+	}
+	if v.Result.Delay != "" || v.Result.Backlog != "" {
+		t.Errorf("unbounded answer carries bounds: %s", body)
+	}
+	if hits := e.Metrics().CacheHits; hits != 0 {
+		t.Fatalf("cache hits before repeat = %d", hits)
+	}
+	resp2, body2 := postJSON(t, srv.URL+"/v1/bound", req)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("second POST: %d: %s", resp2.StatusCode, body2)
+	}
+	if hits := e.Metrics().CacheHits; hits != 1 {
+		t.Errorf("cache hits after repeat = %d, want 1", hits)
+	}
+}
+
+// TestHTTPBoundUnsupportedProgram: a program with no netcalc lowering is a
+// permanent input failure (422), not a retryable service fault.
+func TestHTTPBoundUnsupportedProgram(t *testing.T) {
+	_, srv := newTestServer(t, Config{Workers: 1})
+	resp, body := postJSON(t, srv.URL+"/v1/bound", map[string]any{"source": quickProg, "t": 4})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status = %d, want 422: %s", resp.StatusCode, body)
+	}
+}
+
+// TestBoundDisagreementClassifiesPermanent: the differential hard error is
+// a soundness bug, not a flake — the taxonomy must not retry it.
+func TestBoundDisagreementClassifiesPermanent(t *testing.T) {
+	class, reason := classify(nil, fmt.Errorf("wrapped: %w", netcalc.ErrDisagreement))
+	if class != failPermanent || reason != "bound-disagreement" {
+		t.Errorf("classify = (%v, %q), want (failPermanent, bound-disagreement)", class, reason)
+	}
+}

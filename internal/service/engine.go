@@ -689,6 +689,12 @@ func runAnalysis(ctx context.Context, req *Request, progress *sat.Progress) (*Re
 			return nil, err
 		}
 		return resultFromSynth(r), nil
+	case KindBound:
+		r, err := prog.BoundContext(ctx, a)
+		if err != nil {
+			return nil, err
+		}
+		return resultFromBound(r), nil
 	}
 	return nil, fmt.Errorf("service: unknown kind %q", req.Kind)
 }

@@ -427,6 +427,9 @@ func TestCacheKeyDiscriminates(t *testing.T) {
 		{Kind: KindWitness, Source: base.Source, T: 6, Params: base.Params, InitPhase: true},
 		{Kind: KindWitness, Source: base.Source, T: 6, Params: base.Params, RandSeed: 7},
 		{Kind: KindWitness, Source: base.Source, T: 6, Params: base.Params, RandSeed: 7, RandFreq: 0.05},
+		// A cross-checked bound carries the differential report in its
+		// result, so it must not alias with the plain bound's cache entry.
+		{Kind: KindWitness, Source: base.Source, T: 6, Params: base.Params, CrossCheck: true},
 	}
 	for i, req := range vary {
 		if req.CacheKey() == base.CacheKey() {

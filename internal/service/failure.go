@@ -5,6 +5,7 @@ import (
 	"errors"
 	"strings"
 
+	"buffy/internal/backend/netcalc"
 	"buffy/internal/portfolio"
 	"buffy/internal/smt/sat"
 )
@@ -72,6 +73,11 @@ func classify(res *Result, err error) (failureClass, string) {
 		return failTransient, "panic"
 	case errors.Is(err, portfolio.ErrDisagreement):
 		return failTransient, "disagreement"
+	case errors.Is(err, netcalc.ErrDisagreement):
+		// Both sides are deterministic — the analytical bound and the
+		// exhaustive horizon check can't disagree differently on a retry.
+		// This is a soundness bug surfacing, not a flake.
+		return failPermanent, "bound-disagreement"
 	}
 	return failPermanent, "input"
 }

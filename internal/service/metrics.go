@@ -22,6 +22,7 @@ type metrics struct {
 	submittedVerify     atomic.Int64
 	submittedWitness    atomic.Int64
 	submittedSynthesize atomic.Int64
+	submittedBound      atomic.Int64
 
 	completed atomic.Int64 // jobs that produced a conclusive or unknown result
 	failed    atomic.Int64 // jobs that errored (parse/type/compile errors, deadline)
@@ -148,6 +149,8 @@ func (m *metrics) recordSubmit(kind Kind) {
 		m.submittedWitness.Add(1)
 	case KindSynthesize:
 		m.submittedSynthesize.Add(1)
+	case KindBound:
+		m.submittedBound.Add(1)
 	}
 }
 
@@ -240,6 +243,7 @@ func (m *metrics) snapshot(queueDepth, workers, cacheEntries int) Snapshot {
 			string(KindVerify):     m.submittedVerify.Load(),
 			string(KindWitness):    m.submittedWitness.Load(),
 			string(KindSynthesize): m.submittedSynthesize.Load(),
+			string(KindBound):      m.submittedBound.Load(),
 		},
 		JobsCompleted: m.completed.Load(),
 		JobsFailed:    m.failed.Load(),

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"buffy/internal/backend/fperf"
+	"buffy/internal/backend/netcalc"
 	"buffy/internal/backend/smtbe"
 	"buffy/internal/core"
 	"buffy/internal/portfolio"
@@ -36,11 +37,12 @@ const (
 	KindVerify     Kind = "verify"     // BMC: do the asserts hold on all executions?
 	KindWitness    Kind = "witness"    // FPerf direction: find a query witness trace
 	KindSynthesize Kind = "synthesize" // FPerf back-end: synthesize a guaranteeing workload
+	KindBound      Kind = "bound"      // network-calculus analytical delay/backlog bounds
 )
 
 func (k Kind) valid() bool {
 	switch k {
-	case KindVerify, KindWitness, KindSynthesize:
+	case KindVerify, KindWitness, KindSynthesize, KindBound:
 		return true
 	}
 	return false
@@ -90,6 +92,10 @@ type Request struct {
 	InitPhase    bool    `json:"init_phase,omitempty"`
 	RandSeed     uint64  `json:"rand_seed,omitempty"`
 	RandFreq     float64 `json:"rand_freq,omitempty"`
+	// CrossCheck makes a bound job differentially validate its analytical
+	// bounds against the SMT backend at horizon T (kind == bound only): a
+	// reachable execution beyond the bound fails the job hard.
+	CrossCheck bool `json:"cross_check,omitempty"`
 }
 
 // MaxPortfolio bounds how many solver configurations one request may
@@ -104,7 +110,7 @@ const MaxHorizon = 256
 // Validate rejects malformed requests before they reach the queue.
 func (r *Request) Validate() error {
 	if !r.Kind.valid() {
-		return fmt.Errorf("service: unknown kind %q (want verify | witness | synthesize)", r.Kind)
+		return fmt.Errorf("service: unknown kind %q (want verify | witness | synthesize | bound)", r.Kind)
 	}
 	if r.Source == "" {
 		return fmt.Errorf("service: empty program source")
@@ -188,6 +194,7 @@ func (r *Request) analysis() core.Analysis {
 		Timeout:         time.Duration(r.TimeoutMS) * time.Millisecond,
 		Search:          r.searchOptions(),
 		Portfolio:       r.Portfolio,
+		CrossCheck:      r.CrossCheck,
 	}
 }
 
@@ -247,6 +254,7 @@ func (r *Request) CacheKey() string {
 	writeBool(r.InitPhase)
 	writeUint(r.RandSeed)
 	writeFloat(r.RandFreq)
+	writeBool(r.CrossCheck)
 	names := make([]string, 0, len(r.Params))
 	for name := range r.Params {
 		names = append(names, name)
@@ -269,6 +277,15 @@ type Result struct {
 	WorkloadFound bool   `json:"workload_found,omitempty"`
 	Workload      string `json:"workload,omitempty"`
 	Checks        int    `json:"checks,omitempty"`
+	// Bound outcome (kind == bound): the victim flow's analytical bounds as
+	// exact rationals ("13/5"), Delay in steps, Backlog in packets; both
+	// empty when the flow is unbounded. DurationUS is the analytical solve
+	// time — microseconds, where a millisecond counter would read zero.
+	Victim     string                    `json:"victim,omitempty"`
+	Delay      string                    `json:"delay,omitempty"`
+	Backlog    string                    `json:"backlog,omitempty"`
+	DurationUS int64                     `json:"duration_us,omitempty"`
+	CrossCheck *netcalc.CrossCheckReport `json:"cross_check,omitempty"`
 	// Solver effort and encoding size.
 	SatStats   sat.Stats `json:"sat_stats"`
 	NumClauses int       `json:"num_clauses,omitempty"`
@@ -298,6 +315,8 @@ func (res *Result) conclusive() bool {
 		smtbe.WitnessFound.String(), smtbe.NoWitness.String():
 		return true
 	case "synthesized", "no-workload":
+		return true
+	case "bounded", "unbounded":
 		return true
 	}
 	return false
@@ -329,6 +348,29 @@ func resultFromPortfolio(kind Kind, size int, pr *portfolio.Result) *Result {
 	res.PortfolioSize = size
 	res.PortfolioWinner = pr.Winner
 	res.DurationMS = pr.WallClock.Milliseconds()
+	return res
+}
+
+// resultFromBound flattens a netcalc bound answer into the wire result.
+// Status "bounded" carries the exact rational bounds; "unbounded" is a
+// definite negative answer (the topology offers the victim no guarantee),
+// not an Unknown — both cache. The cross-check report rides along when a
+// differential validation ran; a disagreement never reaches here (it is a
+// hard job failure).
+func resultFromBound(r *netcalc.Result) *Result {
+	res := &Result{
+		Kind:       KindBound,
+		Status:     "unbounded",
+		Victim:     r.Victim,
+		DurationMS: r.Duration.Milliseconds(),
+		DurationUS: r.Duration.Microseconds(),
+		CrossCheck: r.CrossCheck,
+	}
+	if r.Bounded {
+		res.Status = "bounded"
+		res.Delay = r.Delay.RatString()
+		res.Backlog = r.Backlog.RatString()
+	}
 	return res
 }
 
