@@ -1,0 +1,40 @@
+// buffy-lint runs the project-specific solver hot-path linter
+// (internal/lint) over one or more package directories:
+//
+//	buffy-lint [dir ...]
+//
+// With no arguments it lints the CDCL core and its driver
+// (internal/smt/sat, internal/smt/solver) — the directories CI pins.
+// Findings print in compiler format (file:line:col: rule: message) and
+// any finding exits 1, so the command slots directly into CI next to go
+// vet and staticcheck.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"buffy/internal/lint"
+)
+
+func main() {
+	dirs := os.Args[1:]
+	if len(dirs) == 0 {
+		dirs = []string{"internal/smt/sat", "internal/smt/solver"}
+	}
+	bad := false
+	for _, dir := range dirs {
+		issues, err := lint.Dir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "buffy-lint: %s: %v\n", dir, err)
+			os.Exit(2)
+		}
+		for _, iss := range issues {
+			fmt.Println(iss)
+			bad = true
+		}
+	}
+	if bad {
+		os.Exit(1)
+	}
+}

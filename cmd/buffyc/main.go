@@ -12,6 +12,12 @@
 //	buffyc -mode smtlib   -T 3 sched.buffy               # emit SMT-LIB v2
 //	buffyc -mode invariants -param C=2 -param B=2 path.buffy
 //	buffyc -mode fmt sched.buffy                         # canonical formatting
+//	buffyc -mode vet -T 6 sched.buffy                    # static analysis only
+//
+// Vet (static analysis) runs parse -> typecheck -> abstract
+// interpretation and prints structured diagnostics with source excerpts;
+// exit status 1 when any error-severity finding exists, 0 otherwise
+// (warnings and infos do not fail the invocation unless -vet-strict).
 package main
 
 import (
@@ -25,6 +31,7 @@ import (
 	"buffy/internal/backend/smtbe"
 	"buffy/internal/core"
 	"buffy/internal/lang/ast"
+	"buffy/internal/lang/sema"
 	"buffy/internal/portfolio"
 	"buffy/internal/telemetry"
 	"buffy/internal/workload"
@@ -49,9 +56,10 @@ func (p paramFlags) Set(s string) error {
 
 func main() {
 	params := paramFlags{}
-	mode := flag.String("mode", "verify", "verify | witness | synth | bound | dafny | dafny-verify | smtlib | invariants | fmt")
+	mode := flag.String("mode", "verify", "verify | witness | synth | bound | vet | dafny | dafny-verify | smtlib | invariants | fmt")
 	backend := flag.String("backend", "", "analysis backend: smt | netcalc | dafny (default: inferred from -mode; an incompatible pairing is an error)")
 	crossCheck := flag.Bool("crosscheck", false, "differentially validate the netcalc bounds against the SMT backend at horizon T (mode bound)")
+	vetStrict := flag.Bool("vet-strict", false, "mode vet: exit nonzero on warnings too, not just errors (the CI corpus gate)")
 	T := flag.Int("T", 4, "time horizon (steps)")
 	model := flag.String("model", "list", "buffer model: list | count | multiclass")
 	width := flag.Int("width", 0, "solver integer bit width (default 12)")
@@ -93,6 +101,18 @@ func main() {
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		fatal(err)
+	}
+
+	// Vet is pure front-end static analysis: it must render parse and
+	// type errors as diagnostics instead of dying on them, and it works
+	// with unbound parameters, so it branches before core.Parse and the
+	// missing-params check.
+	if *mode == "vet" {
+		runVet(flag.Arg(0), string(src), sema.Options{
+			T: *T, Params: params, Width: *width,
+			ArrivalsPerStep: *arrivals, BufferCap: *cap,
+		}, *vetStrict)
+		return
 	}
 
 	// With -trace, every pipeline layer records spans into tr; the tree is

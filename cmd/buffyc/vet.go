@@ -1,0 +1,22 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"buffy/internal/lang/sema"
+	"buffy/internal/vet"
+)
+
+// runVet executes -mode vet: static analysis only, no solver. It prints
+// every diagnostic with a source excerpt, reports the static verdict if
+// one was decided, and exits 1 on error findings (or on warnings too
+// with -vet-strict).
+func runVet(filename, src string, opts sema.Options, strict bool) {
+	res := vet.Source(src, opts)
+	vet.Render(os.Stdout, filename, src, res)
+	fmt.Printf("%s: vet %s\n", filename, vet.Summary(res))
+	if res.Report.HasErrors() || (strict && !res.Report.Clean()) {
+		os.Exit(1)
+	}
+}

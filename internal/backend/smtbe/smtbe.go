@@ -147,6 +147,10 @@ type Result struct {
 	// Encoding sizes, for scalability experiments.
 	NumClauses int
 	NumVars    int
+	// Tier names the analysis tier that produced the answer: "" or "smt"
+	// for a solver run, "static" when the pre-solve static analyzer
+	// (internal/lang/sema) decided the query without solving.
+	Tier string
 }
 
 // Options configures a Check.

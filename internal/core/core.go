@@ -164,6 +164,9 @@ func (p *Program) VerifyContext(ctx context.Context, a Analysis) (*smtbe.Result,
 	if err != nil {
 		return nil, err
 	}
+	if res := p.staticTier(ctx, a, smtbe.Verify); res != nil {
+		return res, nil
+	}
 	return smtbe.CheckContext(ctx, p.Info, smtbe.Options{IR: iro, Solver: a.solverOptions(), Mode: smtbe.Verify})
 }
 
@@ -178,6 +181,9 @@ func (p *Program) FindWitnessContext(ctx context.Context, a Analysis) (*smtbe.Re
 	iro, err := a.irOptions()
 	if err != nil {
 		return nil, err
+	}
+	if res := p.staticTier(ctx, a, smtbe.Witness); res != nil {
+		return res, nil
 	}
 	return smtbe.CheckContext(ctx, p.Info, smtbe.Options{IR: iro, Solver: a.solverOptions(), Mode: smtbe.Witness})
 }
@@ -211,6 +217,9 @@ func (p *Program) portfolioCheck(ctx context.Context, a Analysis, mode smtbe.Mod
 	if err != nil {
 		return nil, err
 	}
+	if res := p.staticTier(ctx, a, mode); res != nil {
+		return &portfolio.Result{Result: res, Winner: "static"}, nil
+	}
 	return portfolio.CheckContext(ctx, p.Info, portfolio.Options{
 		N:    a.Portfolio,
 		Base: smtbe.Options{IR: iro, Solver: a.solverOptions(), Mode: mode},
@@ -230,6 +239,9 @@ func (p *Program) Bound(a Analysis) (*netcalc.Result, error) {
 // BoundContext is Bound with cooperative cancellation (only the optional
 // differential cross-check solve can block; the bound itself is instant).
 func (p *Program) BoundContext(ctx context.Context, a Analysis) (*netcalc.Result, error) {
+	if err := p.vetGate(ctx, a); err != nil {
+		return nil, err
+	}
 	r, err := netcalc.Analyze(ctx, p.Info, netcalc.Options{
 		Params: a.Params, ArrivalsPerStep: a.ArrivalsPerStep,
 	})
@@ -261,6 +273,9 @@ func (p *Program) SynthesizeWorkload(a Analysis) (*fperf.Result, error) {
 func (p *Program) SynthesizeWorkloadContext(ctx context.Context, a Analysis) (*fperf.Result, error) {
 	iro, err := a.irOptions()
 	if err != nil {
+		return nil, err
+	}
+	if err := p.vetGate(ctx, a); err != nil {
 		return nil, err
 	}
 	return fperf.SynthesizeContext(ctx, p.Info, fperf.Options{IR: iro, Solver: a.solverOptions()})

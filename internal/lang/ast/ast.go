@@ -85,8 +85,12 @@ type Program struct {
 	NamePos token.Pos
 	Params  []*BufferParam
 	Fields  []string // packet field names; defaults to ["flow"]
-	Decls   []*VarDecl
-	Body    []Stmt
+	// FieldsPos are the source positions of the names in Fields, parallel
+	// to it (empty when the fields clause was defaulted), so diagnostics
+	// about a field can point at the field itself.
+	FieldsPos []token.Pos
+	Decls     []*VarDecl
+	Body      []Stmt
 }
 
 func (p *Program) Pos() token.Pos { return p.NamePos }

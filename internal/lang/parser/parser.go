@@ -209,6 +209,7 @@ func (p *Parser) parseFields(prog *ast.Program) {
 	for {
 		f := p.expect(token.IDENT)
 		prog.Fields = append(prog.Fields, f.Lit)
+		prog.FieldsPos = append(prog.FieldsPos, f.Pos)
 		if !p.accept(token.COMMA) {
 			break
 		}

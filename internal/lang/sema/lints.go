@@ -1,0 +1,103 @@
+package sema
+
+// Pass 3 well-formedness lints for queueing-model programs. These are
+// heuristic (keyed on the corpus's parameter naming conventions) and
+// therefore never error-severity: a rate of zero or a burst below one
+// packet is almost always a configuration mistake, but the program is
+// still analyzable.
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+
+	"buffy/internal/lang/ast"
+	"buffy/internal/lang/typecheck"
+)
+
+var (
+	// Rate/capacity/weight/quantum-style parameters: service rates (RATE,
+	// C, R, CH/CV), weights (W1, WH), quanta (Q, Q1), window sizes (IW).
+	rateishName = regexp.MustCompile(`^(RATE|C|R|CH|CV|RH|RV|W[0-9A-Z]*|Q[0-9A-Z]*|IW)$`)
+	// Token-bucket burst parameters.
+	burstishName = regexp.MustCompile(`^(BURST|B[HV]?[0-9]*)$`)
+	// Priority/weight parameters eligible for the tie lint.
+	weightishName = regexp.MustCompile(`^(W[0-9A-Z]*|PRIO[0-9A-Z]*)$`)
+)
+
+func lintPass(info *typecheck.Info, opts Options, rep *Report) {
+	prog := info.Prog
+
+	// Parameters used as array sizes must be positive regardless of name.
+	sizeParams := make(map[string]bool)
+	noteSize := func(e ast.Expr) {
+		if id, ok := e.(*ast.Ident); ok {
+			sizeParams[id.Name] = true
+		}
+	}
+	for _, bp := range prog.Params {
+		if bp.Size != nil {
+			noteSize(bp.Size)
+		}
+	}
+	for _, d := range prog.Decls {
+		if d.Type.Size != nil {
+			noteSize(d.Type.Size)
+		}
+	}
+
+	// B201 / B202 fire only on parameters with bound values: an unbound
+	// parameter's value is unknown, and guessing from the name alone
+	// would be noise.
+	for _, name := range info.Params {
+		v, bound := opts.Params[name]
+		if !bound {
+			continue
+		}
+		switch {
+		case v <= 0 && (rateishName.MatchString(name) || sizeParams[name]):
+			what := "rate/weight"
+			if sizeParams[name] {
+				what = "array-size"
+			}
+			rep.add(Diagnostic{
+				Code: CodeBadRate, Severity: Warn, Pos: prog.NamePos,
+				Msg:  fmt.Sprintf("%s parameter %s = %d is not positive", what, name, v),
+				Hint: "a non-positive value disables the mechanism it configures; bind a positive constant",
+			})
+		case v < 1 && burstishName.MatchString(name):
+			rep.add(Diagnostic{
+				Code: CodeTinyBurst, Severity: Warn, Pos: prog.NamePos,
+				Msg:  fmt.Sprintf("token-bucket burst %s = %d admits no packet (one packet needs burst >= 1)", name, v),
+				Hint: "the bucket can never accumulate enough credit to release a packet; raise the burst",
+			})
+		}
+	}
+
+	// B204: priority/weight ties. Equal weights make "strict priority"
+	// scheds degenerate and FQ/DRR shares identical — usually a typo in
+	// a model meant to differentiate classes.
+	byValue := make(map[int64][]string)
+	for _, name := range info.Params {
+		if v, bound := opts.Params[name]; bound && weightishName.MatchString(name) {
+			byValue[v] = append(byValue[v], name)
+		}
+	}
+	vals := make([]int64, 0, len(byValue))
+	for v := range byValue {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	for _, v := range vals {
+		names := byValue[v]
+		if len(names) < 2 {
+			continue
+		}
+		sort.Strings(names)
+		rep.add(Diagnostic{
+			Code: CodePriorityTie, Severity: Info, Pos: prog.NamePos,
+			Msg:  fmt.Sprintf("priority/weight parameters %v all equal %d", names, v),
+			Hint: "equal weights make the classes indistinguishable to the scheduler; differentiate them if that is not intended",
+		})
+	}
+}

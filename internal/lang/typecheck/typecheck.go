@@ -21,6 +21,22 @@ type Error struct {
 
 func (e *Error) Error() string { return fmt.Sprintf("%v: %s", e.Pos, e.Msg) }
 
+// ErrorList is every semantic error found in one checking run, in source
+// order. It implements error so callers that only care about failure can
+// treat it opaquely, while diagnostic renderers (internal/vet) get all
+// positions at once.
+type ErrorList []*Error
+
+func (l ErrorList) Error() string {
+	if len(l) == 0 {
+		return "no errors"
+	}
+	if len(l) == 1 {
+		return l[0].Error()
+	}
+	return fmt.Sprintf("%v (and %d more errors)", l[0], len(l)-1)
+}
+
 // SymKind classifies resolved identifiers.
 type SymKind int
 
@@ -94,8 +110,22 @@ type checker struct {
 	params map[string]bool    // free identifiers
 }
 
-// Check analyses the program and returns symbol/type information.
+// Check analyses the program and returns symbol/type information. On
+// failure it returns the first error; use CheckAll to collect every
+// diagnostic with its position.
 func Check(prog *ast.Program) (*Info, error) {
+	info, errs := CheckAll(prog)
+	if len(errs) > 0 {
+		return nil, errs[0]
+	}
+	return info, nil
+}
+
+// CheckAll analyses the program and returns symbol/type information plus
+// every semantic error found (nil Info when errs is non-empty). All
+// errors carry source positions, so vet and typecheck findings render
+// uniformly as file:line:col.
+func CheckAll(prog *ast.Program) (*Info, ErrorList) {
 	c := &checker{
 		prog: prog,
 		info: &Info{
@@ -114,7 +144,14 @@ func Check(prog *ast.Program) (*Info, error) {
 	c.collectVars()
 	c.checkStmts(prog.Body, false)
 	if len(c.errs) > 0 {
-		return nil, c.errs[0]
+		sort.SliceStable(c.errs, func(i, j int) bool {
+			a, b := c.errs[i].Pos, c.errs[j].Pos
+			if a.Line != b.Line {
+				return a.Line < b.Line
+			}
+			return a.Col < b.Col
+		})
+		return nil, ErrorList(c.errs)
 	}
 	for name := range c.params {
 		c.info.Params = append(c.info.Params, name)
@@ -130,7 +167,11 @@ func (c *checker) errorf(pos token.Pos, format string, args ...interface{}) {
 func (c *checker) collectFields() {
 	for i, f := range c.prog.Fields {
 		if _, dup := c.info.FieldIndex[f]; dup {
-			c.errorf(c.prog.NamePos, "duplicate packet field %q", f)
+			pos := c.prog.NamePos
+			if i < len(c.prog.FieldsPos) {
+				pos = c.prog.FieldsPos[i]
+			}
+			c.errorf(pos, "duplicate packet field %q", f)
 			continue
 		}
 		c.info.FieldIndex[f] = i

@@ -1,0 +1,171 @@
+package lint
+
+import (
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func lintSource(t *testing.T, src string) []Issue {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return File(fset, f)
+}
+
+func TestTimeCallOutsideAllowlist(t *testing.T) {
+	issues := lintSource(t, `package sat
+import "time"
+func (s *Solver) propagate() {
+	start := time.Now()
+	_ = start
+}
+`)
+	if len(issues) != 1 || issues[0].Rule != "timecall" {
+		t.Fatalf("issues = %v, want one timecall finding", issues)
+	}
+	if issues[0].Pos.Line != 4 {
+		t.Errorf("finding at line %d, want 4", issues[0].Pos.Line)
+	}
+}
+
+func TestTimeCallInLoopNeedsCadenceGuard(t *testing.T) {
+	unguarded := `package sat
+import "time"
+func (s *Solver) SolveLimited(lim Limits) int {
+	for {
+		if time.Now().After(lim.Deadline) {
+			return 0
+		}
+	}
+}
+`
+	// (The loop also legitimately trips cancelpoll — it never polls
+	// Limits.Cancel — so filter to the rule under test.)
+	var timecalls []Issue
+	for _, iss := range lintSource(t, unguarded) {
+		if iss.Rule == "timecall" {
+			timecalls = append(timecalls, iss)
+		}
+	}
+	if len(timecalls) != 1 {
+		t.Fatalf("timecall issues = %v, want exactly one for the unguarded loop call", timecalls)
+	}
+
+	guarded := `package sat
+import "time"
+func (s *Solver) SolveLimited(lim Limits) int {
+	tick := 0
+	for {
+		tick++
+		if tick&1023 == 0 && time.Now().After(lim.Deadline) {
+			return 0
+		}
+	}
+}
+`
+	for _, iss := range lintSource(t, guarded) {
+		if iss.Rule == "timecall" {
+			t.Errorf("cadence-guarded call flagged: %v", iss)
+		}
+	}
+}
+
+func TestTimeCallOutsideLoopInAllowedFunc(t *testing.T) {
+	src := `package sat
+import "time"
+func (s *Solver) SolveLimited(lim Limits) int {
+	start := time.Now()
+	_ = start
+	return 0
+}
+`
+	if issues := lintSource(t, src); len(issues) != 0 {
+		t.Errorf("per-call timestamp flagged: %v", issues)
+	}
+}
+
+func TestCancelPollMissing(t *testing.T) {
+	src := `package sat
+func (s *Solver) SolveLimited(lim Limits) int {
+	for {
+		s.step()
+	}
+}
+`
+	issues := lintSource(t, src)
+	found := false
+	for _, iss := range issues {
+		if iss.Rule == "cancelpoll" && iss.Pos.Line == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("issues = %v, want a cancelpoll finding at line 3", issues)
+	}
+}
+
+func TestCancelPollSatisfied(t *testing.T) {
+	src := `package sat
+func (s *Solver) SolveLimited(lim Limits) int {
+	for {
+		if lim.cancelled() {
+			return 0
+		}
+		s.step()
+	}
+}
+`
+	for _, iss := range lintSource(t, src) {
+		if iss.Rule == "cancelpoll" {
+			t.Errorf("polling loop flagged: %v", iss)
+		}
+	}
+}
+
+func TestUnbudgetedLoopsExempt(t *testing.T) {
+	// Bounded utility loops (heap sift-down etc.) carry no Limits and are
+	// exempt from the cancelpoll rule.
+	src := `package sat
+func (s *Solver) heapDown(i int) {
+	for {
+		if i > 10 {
+			break
+		}
+		i++
+	}
+}
+`
+	for _, iss := range lintSource(t, src) {
+		if iss.Rule == "cancelpoll" {
+			t.Errorf("utility loop flagged: %v", iss)
+		}
+	}
+}
+
+// TestSolverHotPathsAreClean pins the real CDCL core: the shipped sat and
+// solver packages must lint clean, so CI fails the moment a wall-clock
+// read or non-polling solve loop lands on the hot path.
+func TestSolverHotPathsAreClean(t *testing.T) {
+	for _, dir := range []string{
+		filepath.Join("..", "smt", "sat"),
+		filepath.Join("..", "smt", "solver"),
+	} {
+		issues, err := Dir(dir)
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		var msgs []string
+		for _, iss := range issues {
+			msgs = append(msgs, iss.String())
+		}
+		if len(issues) != 0 {
+			t.Errorf("%s is not lint-clean:\n%s", dir, strings.Join(msgs, "\n"))
+		}
+	}
+}

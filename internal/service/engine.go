@@ -573,6 +573,9 @@ func (e *Engine) runJob(job *Job) {
 		e.met.completed.Add(1)
 		e.met.recordSolve(elapsed, res.SatStats)
 		e.admit.observe(job.Req.Kind, elapsed)
+		if res.Tier == "static" {
+			e.met.staticAnswered.Add(1)
+		}
 		if res.PortfolioSize > 1 {
 			e.met.recordPortfolio(res.PortfolioWinner, elapsed)
 		}

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"buffy/internal/backend/netcalc"
+	"buffy/internal/lang/sema"
 	"buffy/internal/portfolio"
 	"buffy/internal/smt/sat"
 )
@@ -78,6 +79,12 @@ func classify(res *Result, err error) (failureClass, string) {
 		// exhaustive horizon check can't disagree differently on a retry.
 		// This is a soundness bug surfacing, not a flake.
 		return failPermanent, "bound-disagreement"
+	}
+	var vetErr *sema.VetError
+	if errors.As(err, &vetErr) {
+		// The static analyzer rejected the program (contradictory
+		// assumptions, unusable horizon): a property of the input.
+		return failPermanent, "vet_rejected"
 	}
 	return failPermanent, "input"
 }

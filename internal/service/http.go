@@ -24,6 +24,7 @@ const maxRequestBody = 4 << 20
 //	POST /v1/witness            find a query witness trace
 //	POST /v1/synthesize         synthesize a workload
 //	POST /v1/bound              network-calculus delay/backlog bounds
+//	POST /v1/vet                static analysis only: diagnostics + static verdict
 //	GET  /v1/jobs/{id}          poll a job
 //	GET  /v1/jobs/{id}/trace    the job's span tree (live or finished)
 //	GET  /v1/jobs/{id}/progress live solver-effort counters while it runs
@@ -44,6 +45,7 @@ func NewHandler(e *Engine) http.Handler {
 	mux.HandleFunc("POST /v1/witness", submitHandler(e, KindWitness))
 	mux.HandleFunc("POST /v1/synthesize", submitHandler(e, KindSynthesize))
 	mux.HandleFunc("POST /v1/bound", submitHandler(e, KindBound))
+	mux.HandleFunc("POST /v1/vet", vetHandler(e))
 	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		job, ok := e.Job(r.PathValue("id"))
 		if !ok {

@@ -40,6 +40,13 @@ type metrics struct {
 	retriesBy map[string]int64 // reason  → retries attempted
 	budgetBy  map[string]int64 // resource → solves stopped by that budget
 
+	// Static-tier telemetry: /v1/vet traffic and how many of those
+	// programs the analyzer rejected, plus solver jobs the pre-solve
+	// static tier answered without any search.
+	vetRequests    atomic.Int64
+	vetRejected    atomic.Int64
+	staticAnswered atomic.Int64
+
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
 
@@ -209,6 +216,10 @@ type Snapshot struct {
 	Workers     int `json:"workers"`
 	WorkersBusy int `json:"workers_busy"`
 
+	VetRequests    int64 `json:"vet_requests"`
+	VetRejected    int64 `json:"vet_rejected"`
+	StaticAnswered int64 `json:"static_tier_answers"`
+
 	CacheHits    int64   `json:"cache_hits"`
 	CacheMisses  int64   `json:"cache_misses"`
 	CacheEntries int     `json:"cache_entries"`
@@ -256,6 +267,10 @@ func (m *metrics) snapshot(queueDepth, workers, cacheEntries int) Snapshot {
 		QueueDepth:  queueDepth,
 		Workers:     workers,
 		WorkersBusy: int(m.workersBusy.Load()),
+
+		VetRequests:    m.vetRequests.Load(),
+		VetRejected:    m.vetRejected.Load(),
+		StaticAnswered: m.staticAnswered.Load(),
 
 		CacheHits:    m.cacheHits.Load(),
 		CacheMisses:  m.cacheMisses.Load(),
@@ -379,6 +394,10 @@ func (s Snapshot) WritePrometheus(w io.Writer) {
 	gauge("buffy_queue_depth", "Jobs waiting for a worker.", float64(s.QueueDepth))
 	gauge("buffy_workers", "Configured worker pool size.", float64(s.Workers))
 	gauge("buffy_workers_busy", "Workers currently solving.", float64(s.WorkersBusy))
+
+	counter("buffy_vet_requests_total", "POST /v1/vet static-analysis requests served.", s.VetRequests)
+	counter("buffy_vet_rejected_total", "Vet requests whose program had error-severity findings.", s.VetRejected)
+	counter("buffy_static_tier_answers_total", "Solver jobs answered by the pre-solve static tier.", s.StaticAnswered)
 
 	counter("buffy_cache_hits_total", "Analyses served from the result cache.", s.CacheHits)
 	counter("buffy_cache_misses_total", "Analyses that had to solve.", s.CacheMisses)

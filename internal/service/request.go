@@ -297,6 +297,10 @@ type Result struct {
 	PortfolioWinner string `json:"portfolio_winner,omitempty"`
 	// CacheHit marks a response served from the result cache.
 	CacheHit bool `json:"cache_hit"`
+	// Tier names the analysis tier that answered: "static" when the
+	// pre-solve analyzer decided the query without a solver, else empty
+	// (SMT tier).
+	Tier string `json:"tier,omitempty"`
 	// StopReason names which resource budget (or deadline/cancel) halted
 	// the search when Status is "unknown": "conflicts", "propagations",
 	// "learnt-bytes", "deadline" or "cancel".
@@ -332,6 +336,7 @@ func resultFromCheck(kind Kind, r *smtbe.Result) *Result {
 		NumVars:    r.NumVars,
 		DurationMS: r.Duration.Milliseconds(),
 		StopReason: r.Stop.String(),
+		Tier:       r.Tier,
 	}
 }
 
