@@ -16,6 +16,7 @@
 //	buffy-bench -exp stages   # extension: per-stage cost breakdown (spans)
 //	buffy-bench -exp netcalc  # extension: analytical bounds vs SMT differential
 //	buffy-bench -exp vet      # extension: static-tier latency vs solver time saved
+//	buffy-bench -exp sweep    # extension: warm-session sweep vs cold per-horizon
 //	buffy-bench -exp all
 package main
 
@@ -43,10 +44,11 @@ var experiments = []struct {
 	{"stages", "extension — per-stage cost breakdown across the corpus (telemetry spans)", runStages},
 	{"netcalc", "extension — network-calculus bounds (µs) vs SMT differential certification", runNetcalc},
 	{"vet", "extension — static tier latency (µs) vs solver time saved", runVetExp},
+	{"sweep", "extension — warm-session sweep vs cold per-horizon solves", runSweepExp},
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (table1 fig6 cs1 cs1b cs2 a1 a2 a3 a4 portfolio stages netcalc vet all)")
+	exp := flag.String("exp", "all", "experiment id (table1 fig6 cs1 cs1b cs2 a1 a2 a3 a4 portfolio stages netcalc vet sweep all)")
 	flag.Parse()
 	ran := false
 	for _, e := range experiments {

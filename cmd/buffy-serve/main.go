@@ -7,6 +7,8 @@
 //	buffy-serve -addr :8080 -workers 8 -queue 128 -cache 512 -timeout 60s
 //
 //	curl -s localhost:8080/v1/witness -d '{"source":"...", "t":6, "params":{"N":3}}'
+//	curl -sN localhost:8080/v1/sweep -d '{"source":"...", "max_t":8, "sweep_mode":"witness"}'
+//	                                                        # NDJSON verdict stream
 //	curl -s localhost:8080/v1/verify?async=1 -d @req.json   # 202 + job ID
 //	curl -s localhost:8080/v1/jobs/j00000001
 //	curl -s localhost:8080/v1/jobs/j00000001/trace          # span tree
@@ -43,6 +45,8 @@ func main() {
 	drain := flag.Duration("drain", 30*time.Second, "graceful drain budget on shutdown")
 	retries := flag.Int("retries", 1, "max retries for transient failures (budget exhaustion, panic, disagreement)")
 	backoff := flag.Duration("retry-backoff", 50*time.Millisecond, "initial retry backoff (doubles per attempt)")
+	sessions := flag.Int("sessions", 0, "warm-session pool entries for /v1/sweep (0 default 32, <0 disables pooling)")
+	sessionBytes := flag.Int64("session-bytes", 0, "warm-session pool memory budget, estimated bytes (0 default 256 MiB)")
 	traceSpans := flag.Int("trace-spans", 0, "max spans per job trace (0 default, <0 disables tracing)")
 	traceKeep := flag.Int("trace-retention", 128, "finished traces kept for /v1/traces")
 	logFormat := flag.String("log-format", "text", "log output format: text or json")
@@ -62,15 +66,17 @@ func main() {
 	}
 
 	engine := service.New(service.Config{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		CacheEntries:   *cacheN,
-		DefaultTimeout: *timeout,
-		MaxRetries:     *retries,
-		RetryBackoff:   *backoff,
-		Logger:         logger,
-		TraceSpans:     *traceSpans,
-		TraceRetention: *traceKeep,
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		CacheEntries:    *cacheN,
+		DefaultTimeout:  *timeout,
+		MaxRetries:      *retries,
+		RetryBackoff:    *backoff,
+		Logger:          logger,
+		TraceSpans:      *traceSpans,
+		TraceRetention:  *traceKeep,
+		SessionEntries:  *sessions,
+		SessionMaxBytes: *sessionBytes,
 	})
 	handler := service.WithRequestLogging(logger, service.NewHandler(engine))
 	server := &http.Server{Addr: *addr, Handler: handler}

@@ -12,7 +12,7 @@ import (
 // the supported set) rather than run a different backend silently.
 var backendModes = map[string]map[string]bool{
 	"smt": {
-		"verify": true, "witness": true, "synth": true,
+		"verify": true, "witness": true, "synth": true, "sweep": true,
 		"smtlib": true, "invariants": true,
 	},
 	"netcalc": {"bound": true},

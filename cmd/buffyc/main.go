@@ -3,6 +3,8 @@
 //
 //	buffyc -mode verify   -T 6 -param N=3 sched.buffy   # BMC: asserts hold?
 //	buffyc -mode witness  -T 6 -param N=3 sched.buffy   # find a query witness
+//	buffyc -mode sweep -maxT 8 -param N=3 sched.buffy   # minimal-horizon sweep
+//	                                                     # on one warm session
 //	buffyc -mode synth    -T 5 -param N=2 sched.buffy   # FPerf-style workload
 //	buffyc -backend netcalc -param RATE=1 -param BURST=3 -param C=2 tbrl.buffy
 //	                                                     # analytical bounds (µs)
@@ -33,6 +35,7 @@ import (
 	"buffy/internal/lang/ast"
 	"buffy/internal/lang/sema"
 	"buffy/internal/portfolio"
+	"buffy/internal/session"
 	"buffy/internal/telemetry"
 	"buffy/internal/workload"
 )
@@ -56,11 +59,13 @@ func (p paramFlags) Set(s string) error {
 
 func main() {
 	params := paramFlags{}
-	mode := flag.String("mode", "verify", "verify | witness | synth | bound | vet | dafny | dafny-verify | smtlib | invariants | fmt")
+	mode := flag.String("mode", "verify", "verify | witness | sweep | synth | bound | vet | dafny | dafny-verify | smtlib | invariants | fmt")
 	backend := flag.String("backend", "", "analysis backend: smt | netcalc | dafny (default: inferred from -mode; an incompatible pairing is an error)")
 	crossCheck := flag.Bool("crosscheck", false, "differentially validate the netcalc bounds against the SMT backend at horizon T (mode bound)")
 	vetStrict := flag.Bool("vet-strict", false, "mode vet: exit nonzero on warnings too, not just errors (the CI corpus gate)")
 	T := flag.Int("T", 4, "time horizon (steps)")
+	maxT := flag.Int("maxT", 8, "mode sweep: deepest horizon to try (warm session capacity)")
+	sweepWitness := flag.Bool("sweep-witness", false, "mode sweep: sweep the witness direction instead of verify")
 	model := flag.String("model", "list", "buffer model: list | count | multiclass")
 	width := flag.Int("width", 0, "solver integer bit width (default 12)")
 	arrivals := flag.Int("arrivals", 0, "max arrivals per input buffer per step (default 1)")
@@ -182,6 +187,8 @@ func main() {
 				}
 			}
 		}
+	case "sweep":
+		runSweep(ctx, prog, a, *maxT, *sweepWitness, *stats, *planOut)
 	case "synth":
 		res, err := prog.SynthesizeWorkloadContext(ctx, a)
 		if err != nil {
@@ -279,6 +286,45 @@ func missingParams(p *core.Program, have map[string]int64) []string {
 		}
 	}
 	return out
+}
+
+// runSweep answers -mode sweep: solve horizons 1..maxT in order on one
+// warm solver session (assumption-based re-solve, learnt clauses shared
+// across horizons) until a trace appears, printing each horizon's verdict
+// as it lands. Programs whose encoding shape depends on T fall back to
+// cold per-horizon solves — same answers, no reuse.
+func runSweep(ctx context.Context, prog *core.Program, a core.Analysis, maxT int, witness, stats bool, planOut string) {
+	mode := smtbe.Verify
+	if witness {
+		mode = smtbe.Witness
+	}
+	sr, err := prog.SweepContext(ctx, a, core.SweepOptions{
+		MaxT: maxT, Mode: mode,
+		OnVerdict: func(v session.Verdict) {
+			how := "warm"
+			if !v.Warm {
+				how = "cold"
+			}
+			fmt.Printf("  T=%-3d %-15v %8.3fs  %s (%d conflicts)\n",
+				v.T, v.Status, v.Duration.Seconds(), how, v.Conflicts)
+		},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	switch {
+	case sr.FoundAt > 0:
+		fmt.Printf("%s: %v at minimal horizon T=%d (%.3fs total)\n",
+			prog.Name(), sr.Final.Status, sr.FoundAt, sr.Duration.Seconds())
+	default:
+		fmt.Printf("%s: %v up to T=%d (%.3fs total)\n",
+			prog.Name(), sr.Final.Status, maxT, sr.Duration.Seconds())
+	}
+	printStats(stats, sr.Final)
+	if sr.Final.Trace != nil {
+		fmt.Print(sr.Final.Trace)
+		savePlan(planOut, sr.Final.Trace)
+	}
 }
 
 // runPortfolio races -portfolio diversified solver configurations on a

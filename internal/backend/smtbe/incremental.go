@@ -16,15 +16,26 @@ import (
 // of restarting from scratch like FindMinHorizon. Returns the result and
 // minimal horizon exactly like FindMinHorizon.
 //
-// Note: the builtin T is fixed to maxT for the whole run (a single
-// compiled unrolling serves every horizon), so Deepening suits
-// T-independent queries — per-step asserts — rather than queries guarded
-// by t == T-1; use FindMinHorizon for those.
+// Queries that read the builtin T (the corpus norm: asserts guarded by
+// t == T - 1) are handled exactly: the unrolling is compiled with a
+// symbolic horizon (ir.Options.SymbolicT) and each horizon k is solved
+// under the assumption T == k, so the T-referencing guards select the
+// right step by themselves. Historically this function fixed T to maxT
+// and silently answered the wrong query for such programs. Programs that
+// use T in a compile-time constant position (loop bounds, array sizes)
+// cannot share one encoding at all; those fall back to per-horizon
+// compilation (FindMinHorizon), cold but correct. internal/session
+// builds the pooled, service-facing version of this warm path.
 func Deepening(info *typecheck.Info, opts Options, maxT int) (*Result, int, error) {
+	horizon := ir.ScanHorizon(info)
+	if horizon == ir.HorizonConst {
+		return FindMinHorizon(info, opts, maxT)
+	}
 	start := time.Now()
 	sv := solver.New(opts.Solver)
 	iro := opts.IR
 	iro.T = maxT // fixes capacity heuristics so all horizons share shapes
+	iro.SymbolicT = true
 	m, err := ir.NewMachine(info, sv.Builder(), iro)
 	if err != nil {
 		return nil, 0, err
@@ -47,11 +58,11 @@ func Deepening(info *typecheck.Info, opts Options, maxT int) (*Result, int, erro
 		var query = b.False()
 		switch opts.Mode {
 		case Witness:
-			query = b.And(c.AssertHolds(), c.AssertReached())
+			query = b.And(c.AssertHoldsUpTo(T), c.AssertReachedUpTo(T))
 		case Verify:
-			query = c.Violation()
+			query = c.ViolationUpTo(T)
 		}
-		outcome := sv.CheckAssuming(query)
+		outcome := sv.CheckAssuming(b.Eq(m.TVar(), b.IntConst(int64(T))), query)
 		if outcome == solver.Unknown {
 			res := &Result{Status: Unknown, Mode: opts.Mode, Compiled: c, Solver: sv,
 				Duration: time.Since(start)}

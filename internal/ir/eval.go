@@ -86,6 +86,9 @@ func (m *Machine) evalIdent(n *ast.Ident, le loopEnv) (*term.Term, error) {
 		return m.b.IntConst(v), nil
 	}
 	if n.Name == "T" {
+		if m.opts.SymbolicT {
+			return m.tvar, nil
+		}
 		return m.b.IntConst(int64(m.opts.T)), nil
 	}
 	if _, isArr := m.arraySize[n.Name]; isArr {
@@ -355,6 +358,11 @@ func (m *Machine) constEvalLoop(e ast.Expr, le loopEnv) (int64, error) {
 			return v, nil
 		}
 		if n.Name == "T" {
+			if m.opts.SymbolicT {
+				// Constant positions (loop bounds, array sizes, / and %)
+				// shape the encoding itself and cannot wait for the solver.
+				return 0, fmt.Errorf("T is symbolic in this compilation and cannot appear in a constant position")
+			}
 			return int64(m.opts.T), nil
 		}
 		if n.Name == "t" {

@@ -1,0 +1,180 @@
+package ir
+
+import (
+	"buffy/internal/lang/ast"
+	"buffy/internal/lang/typecheck"
+)
+
+// HorizonUse classifies how a program references the builtin horizon T.
+// The classification decides whether one symbolic-T compilation
+// (Options.SymbolicT) can serve every horizon, or whether each horizon
+// needs its own unrolling.
+type HorizonUse int
+
+const (
+	// HorizonNone: the program never reads T. Any single unrolling to
+	// maxT answers every horizon k <= maxT (per-step asserts only).
+	HorizonNone HorizonUse = iota
+	// HorizonTerm: T appears only in ordinary expression positions
+	// (guards like t == T - 1, arithmetic, assert conditions). A
+	// symbolic-T compilation answers every horizon exactly.
+	HorizonTerm
+	// HorizonConst: T appears in at least one compile-time constant
+	// position (loop bound, array or buffer-array size, division or
+	// modulo operand). The encoding's shape depends on T, so every
+	// horizon needs its own compilation — symbolic T is not available.
+	HorizonConst
+)
+
+func (u HorizonUse) String() string {
+	switch u {
+	case HorizonTerm:
+		return "term"
+	case HorizonConst:
+		return "const"
+	}
+	return "none"
+}
+
+// horizonScan walks the checked AST accumulating the strongest use. It
+// resolves idents through typecheck.Info.Symbols, so a user variable or
+// loop variable that shadows the builtin name does not count as a use.
+type horizonScan struct {
+	info *typecheck.Info
+	use  HorizonUse
+}
+
+// ScanHorizon reports how prog uses the builtin T. It drives the routing
+// decision between the warm symbolic-T session path (HorizonNone,
+// HorizonTerm) and cold per-horizon compilation (HorizonConst).
+func ScanHorizon(info *typecheck.Info) HorizonUse {
+	sc := &horizonScan{info: info}
+	for _, bp := range info.Prog.Params {
+		if bp.Size != nil {
+			sc.constExpr(bp.Size)
+		}
+	}
+	for _, d := range info.Prog.Decls {
+		sc.varDecl(d)
+	}
+	sc.stmts(info.Prog.Body)
+	return sc.use
+}
+
+func (sc *horizonScan) record(u HorizonUse) {
+	if u > sc.use {
+		sc.use = u
+	}
+}
+
+// isHorizonIdent reports whether e is the builtin T (not a shadowing
+// variable, parameter or loop variable).
+func (sc *horizonScan) isHorizonIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name != "T" {
+		return false
+	}
+	if sym, ok := sc.info.Symbols[id]; ok {
+		return sym.Kind == typecheck.SymBuiltin
+	}
+	// Unresolved T (no symbol recorded) — treat as the builtin; the
+	// conservative answer only ever forces a colder path.
+	return true
+}
+
+// constExpr scans an expression in a compile-time constant position.
+func (sc *horizonScan) constExpr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	if sc.isHorizonIdent(e) {
+		sc.record(HorizonConst)
+		return
+	}
+	switch n := e.(type) {
+	case *ast.Unary:
+		sc.constExpr(n.X)
+	case *ast.Binary:
+		sc.constExpr(n.X)
+		sc.constExpr(n.Y)
+	}
+}
+
+// expr scans an ordinary (term-position) expression.
+func (sc *horizonScan) expr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	if sc.isHorizonIdent(e) {
+		sc.record(HorizonTerm)
+		return
+	}
+	switch n := e.(type) {
+	case *ast.Unary:
+		sc.expr(n.X)
+	case *ast.Binary:
+		if n.Op == ast.OpDiv || n.Op == ast.OpMod {
+			// Division and modulo constant-fold their operands at
+			// compile time (§7), so T inside them shapes the encoding.
+			sc.constExpr(n.X)
+			sc.constExpr(n.Y)
+			return
+		}
+		sc.expr(n.X)
+		sc.expr(n.Y)
+	case *ast.Index:
+		sc.expr(n.X)
+		sc.expr(n.Idx)
+	case *ast.Backlog:
+		sc.expr(n.Buf)
+	case *ast.Filter:
+		sc.expr(n.Buf)
+		sc.expr(n.Value)
+	case *ast.ListQuery:
+		sc.expr(n.List)
+		sc.expr(n.Arg)
+	case *ast.PopFront:
+		sc.expr(n.List)
+	}
+}
+
+func (sc *horizonScan) varDecl(d *ast.VarDecl) {
+	sc.constExpr(d.Type.Size)
+	// Initializers are evaluated once before step 0 over constants only.
+	sc.constExpr(d.Init)
+}
+
+func (sc *horizonScan) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		sc.stmt(s)
+	}
+}
+
+func (sc *horizonScan) stmt(s ast.Stmt) {
+	switch n := s.(type) {
+	case *ast.Assign:
+		sc.expr(n.LHS)
+		sc.expr(n.RHS)
+	case *ast.PushBack:
+		sc.expr(n.List)
+		sc.expr(n.Arg)
+	case *ast.Move:
+		sc.expr(n.Src)
+		sc.expr(n.Dst)
+		sc.expr(n.Count)
+	case *ast.If:
+		sc.expr(n.Cond)
+		sc.stmts(n.Then)
+		sc.stmts(n.Else)
+	case *ast.For:
+		sc.constExpr(n.Lo)
+		sc.constExpr(n.Hi)
+		sc.stmts(n.Body)
+	case *ast.Assert:
+		sc.expr(n.Cond)
+	case *ast.Assume:
+		sc.expr(n.Cond)
+	case *ast.VarDecl:
+		sc.varDecl(n)
+	}
+}

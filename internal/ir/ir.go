@@ -60,6 +60,16 @@ type Options struct {
 	// than once in a composition, so the instances' symbolic variables
 	// stay distinct.
 	NamePrefix string
+	// SymbolicT makes the builtin T evaluate to a fresh integer variable
+	// (Machine.TVar) instead of the constant opts.T. One compiled
+	// unrolling then serves every horizon k <= opts.T: solve under the
+	// assumption TVar == k and the T-referencing guards (t == T - 1 and
+	// friends) select the right step by themselves. T stays a
+	// compile-time constant in constant positions (loop bounds, array
+	// sizes) — those force the shapes of the encoding and cannot be
+	// deferred to the solver — so programs that use T there are rejected;
+	// ScanHorizon classifies programs up front.
+	SymbolicT bool
 }
 
 func (o Options) withDefaults(numInputs int) Options {
@@ -199,6 +209,67 @@ func (c *Compiled) Violation() *term.Term {
 		parts[i] = c.B.And(a.Guard, c.B.Not(a.Cond))
 	}
 	return c.B.Or(parts...)
+}
+
+// AssertHoldsUpTo is AssertHolds restricted to assert instances from
+// steps 0..k-1. A symbolic-T session unrolled to maxT uses these UpTo
+// variants to pose the horizon-k query over the shared encoding.
+func (c *Compiled) AssertHoldsUpTo(k int) *term.Term {
+	var parts []*term.Term
+	for _, a := range c.Asserts {
+		if a.Step < k {
+			parts = append(parts, c.B.Implies(a.Guard, a.Cond))
+		}
+	}
+	return c.B.And(parts...)
+}
+
+// AssertReachedUpTo is AssertReached restricted to steps 0..k-1.
+func (c *Compiled) AssertReachedUpTo(k int) *term.Term {
+	var parts []*term.Term
+	for _, a := range c.Asserts {
+		if a.Step < k {
+			parts = append(parts, a.Guard)
+		}
+	}
+	return c.B.Or(parts...)
+}
+
+// ViolationUpTo is Violation restricted to steps 0..k-1.
+func (c *Compiled) ViolationUpTo(k int) *term.Term {
+	var parts []*term.Term
+	for _, a := range c.Asserts {
+		if a.Step < k {
+			parts = append(parts, c.B.And(a.Guard, c.B.Not(a.Cond)))
+		}
+	}
+	return c.B.Or(parts...)
+}
+
+// TruncatedTo returns a shallow copy of the compilation restricted to the
+// first k steps: snapshots, arrivals and havocs from later steps are
+// dropped so trace extraction over a horizon-k model never reads the
+// unconstrained tail of a deeper unrolling. The term DAG, assumes and
+// asserts are shared with the receiver.
+func (c *Compiled) TruncatedTo(k int) *Compiled {
+	if k >= len(c.Steps) {
+		return c
+	}
+	out := *c
+	out.Steps = c.Steps[:k]
+	out.Arrivals = nil
+	for _, a := range c.Arrivals {
+		if a.Step < k {
+			out.Arrivals = append(out.Arrivals, a)
+		}
+	}
+	out.Havocs = nil
+	for _, h := range c.Havocs {
+		if h.Step < k {
+			out.Havocs = append(out.Havocs, h)
+		}
+	}
+	return &out
 }
 
 // Compile unrolls prog over opts.T steps from the empty initial state with

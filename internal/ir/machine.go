@@ -41,6 +41,7 @@ type Machine struct {
 	step     int
 	havocSeq int
 	havocs   []HavocVar
+	tvar     *term.Term // value of builtin T under Options.SymbolicT
 	curT     *term.Term // value of builtin t during the current step
 	guard    *term.Term // current path condition
 	assumes  []*term.Term
@@ -98,6 +99,9 @@ func NewMachine(info *typecheck.Info, b *term.Builder, opts Options) (*Machine, 
 		}
 	}
 	m.opts = opts.withDefaults(numInputs)
+	if m.opts.SymbolicT {
+		m.tvar = b.Var(m.prefix+"!T", term.Int)
+	}
 	m.ctx = &buffer.Ctx{
 		B:      b,
 		Assume: func(t *term.Term) { m.assumes = append(m.assumes, t) },
@@ -211,6 +215,12 @@ func (m *Machine) OutputNames() []string { return m.outputNames }
 
 // Ctx exposes the buffer context (for composition drivers).
 func (m *Machine) Ctx() *buffer.Ctx { return m.ctx }
+
+// TVar returns the symbolic horizon variable when the machine was built
+// with Options.SymbolicT, nil otherwise. Callers constrain it per query
+// (e.g. CheckAssuming TVar == k) rather than asserting it permanently, so
+// one encoding answers every horizon.
+func (m *Machine) TVar() *term.Term { return m.tvar }
 
 // SetBuffer replaces a buffer instance's state (transition-system use).
 func (m *Machine) SetBuffer(name string, st buffer.State) { m.bufs[name] = st }

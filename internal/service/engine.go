@@ -13,8 +13,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"buffy/internal/backend/smtbe"
 	"buffy/internal/core"
 	"buffy/internal/faultinject"
+	"buffy/internal/session"
 	"buffy/internal/smt/sat"
 	"buffy/internal/telemetry"
 )
@@ -66,6 +68,12 @@ type Job struct {
 	trace    *telemetry.Trace
 	progress *sat.Progress
 
+	// verdicts streams a sweep job's per-horizon answers to a listening
+	// handler. Buffered for the deepest possible sweep so the worker never
+	// blocks on a slow (or absent) reader; closed by the worker when the
+	// sweep ends. Nil for non-sweep and cache-hit jobs.
+	verdicts chan SweepVerdict
+
 	mu        sync.Mutex
 	state     State
 	result    *Result
@@ -82,6 +90,22 @@ func (j *Job) Trace() *telemetry.Trace { return j.trace }
 // Progress returns the job's live solver-effort counters (nil for
 // cache-hit jobs). Safe to poll while the job runs.
 func (j *Job) Progress() *sat.Progress { return j.progress }
+
+// Verdicts returns the sweep job's per-horizon verdict stream (nil for
+// non-sweep and cache-hit jobs). The worker closes it when the sweep
+// ends; a job canceled while queued never closes it, so readers must
+// also select on Done.
+func (j *Job) Verdicts() <-chan SweepVerdict { return j.verdicts }
+
+// sendVerdict forwards one horizon verdict to the stream. The buffer
+// covers the deepest sweep, so a full channel can only mean a logic bug;
+// dropping (rather than blocking a worker forever) is the safe failure.
+func (j *Job) sendVerdict(v SweepVerdict) {
+	select {
+	case j.verdicts <- v:
+	default:
+	}
+}
 
 // State returns the job's current lifecycle phase.
 func (j *Job) State() State {
@@ -214,6 +238,14 @@ type Config struct {
 	// TraceRetention caps how many finished traces stay browsable via
 	// /v1/traces after their jobs are pruned (default 128).
 	TraceRetention int
+	// SessionEntries bounds the warm-session pool for sweep jobs (default
+	// 32; negative disables pooling — every sweep builds a private
+	// session).
+	SessionEntries int
+	// SessionMaxBytes bounds the pool's estimated memory: problem
+	// encodings plus learnt-clause databases (default 256 MiB; sessions
+	// whose learnt DB grows push colder entries out).
+	SessionMaxBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -247,19 +279,26 @@ func (c Config) withDefaults() Config {
 	if c.TraceRetention <= 0 {
 		c.TraceRetention = 128
 	}
+	if c.SessionEntries == 0 {
+		c.SessionEntries = 32
+	}
+	if c.SessionMaxBytes == 0 {
+		c.SessionMaxBytes = 256 << 20
+	}
 	return c
 }
 
 // Engine is the analysis job engine: a bounded queue feeding a worker
 // pool, fronted by a content-addressed result cache.
 type Engine struct {
-	cfg    Config
-	queue  chan *Job
-	cache  *cache
-	met    *metrics
-	admit  *admission
-	log    *slog.Logger
-	traces *traceRing
+	cfg      Config
+	queue    chan *Job
+	cache    *cache
+	met      *metrics
+	admit    *admission
+	log      *slog.Logger
+	traces   *traceRing
+	sessions *sessionPool
 
 	draining atomic.Bool
 
@@ -279,14 +318,16 @@ type Engine struct {
 func New(cfg Config) *Engine {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
+	met := newMetrics()
 	e := &Engine{
 		cfg:        cfg,
 		queue:      make(chan *Job, cfg.QueueDepth),
 		cache:      newCache(cfg.CacheEntries),
-		met:        newMetrics(),
+		met:        met,
 		admit:      newAdmission(),
 		log:        cfg.Logger,
 		traces:     newTraceRing(cfg.TraceRetention),
+		sessions:   newSessionPool(cfg.SessionEntries, cfg.SessionMaxBytes, met),
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		jobs:       make(map[string]*Job),
@@ -317,8 +358,9 @@ func (e *Engine) Submit(req *Request) (*Job, error) {
 		e.met.cacheHits.Add(1)
 		job := e.newJobLocked(req)
 		// A cache hit never runs the pipeline: no spans to record, no
-		// live progress to poll.
-		job.trace, job.progress = nil, nil
+		// live progress to poll, no verdicts to stream (they ride in the
+		// cached result).
+		job.trace, job.progress, job.verdicts = nil, nil, nil
 		// Shallow copy: the trace/workload payload is shared (immutable),
 		// only the per-response CacheHit stamp differs.
 		res := *cached
@@ -387,6 +429,9 @@ func (e *Engine) newJobLocked(req *Request) *Job {
 		job.trace = telemetry.NewTraceN(job.ID, e.cfg.TraceSpans)
 		job.progress = &sat.Progress{}
 	}
+	if req.Kind == KindSweep {
+		job.verdicts = make(chan SweepVerdict, MaxHorizon+1)
+	}
 	e.jobs[job.ID] = job
 	return job
 }
@@ -434,7 +479,8 @@ func (e *Engine) Job(id string) (*Job, bool) {
 
 // Metrics returns a point-in-time snapshot of all counters.
 func (e *Engine) Metrics() Snapshot {
-	return e.met.snapshot(len(e.queue), e.cfg.Workers, e.cache.len())
+	live, bytes := e.sessions.stats()
+	return e.met.snapshot(len(e.queue), e.cfg.Workers, e.cache.len(), live, bytes)
 }
 
 // Shutdown stops accepting jobs and drains the pool gracefully: queued
@@ -455,14 +501,16 @@ func (e *Engine) Shutdown(ctx context.Context) error {
 		e.wg.Wait()
 		close(drained)
 	}()
+	var err error
 	select {
 	case <-drained:
-		return nil
 	case <-ctx.Done():
 		e.baseCancel() // abort in-flight CDCL searches
 		<-drained
-		return ctx.Err()
+		err = ctx.Err()
 	}
+	e.sessions.closeAll()
+	return err
 }
 
 func (e *Engine) worker() {
@@ -523,11 +571,22 @@ func (e *Engine) runJob(job *Job) {
 			actx, asp = telemetry.StartSpan(ctx, "attempt")
 			asp.SetAttrs(telemetry.Int("n", int64(attempt)), telemetry.String("degraded", degraded))
 		}
-		res, err = runAnalysisSafe(actx, req, job.progress)
+		if req.Kind == KindSweep {
+			res, err = e.runSweepSafe(actx, job, req)
+		} else {
+			res, err = runAnalysisSafe(actx, req, job.progress)
+		}
 		asp.End()
 		class, reason = classify(res, err)
 		if strings.HasPrefix(reason, "budget-") {
 			e.met.recordBudget(strings.TrimPrefix(reason, "budget-"))
+		}
+		if req.Kind == KindSweep {
+			// Sweeps sit outside the retry ladder: their verdicts already
+			// streamed to the client, so a re-run would replay horizons the
+			// reader has seen (and the degradation ladder's knobs would
+			// change the session fingerprint mid-stream anyway).
+			break
 		}
 		if class != failTransient || attempt > e.cfg.MaxRetries {
 			break
@@ -646,6 +705,65 @@ func runAnalysisSafe(ctx context.Context, req *Request, prog *sat.Progress) (res
 	faultinject.Do(ctx, faultinject.PointSolverStall)
 	faultinject.Do(ctx, faultinject.PointWorkerPanic)
 	return runAnalysis(ctx, req, prog)
+}
+
+// runSweepSafe is runSweep behind the worker-pool panic shield, with the
+// guarantee that the job's verdict stream closes however the sweep ends —
+// the streaming handler's read loop must never outlive the worker.
+func (e *Engine) runSweepSafe(ctx context.Context, job *Job, req *Request) (res *Result, err error) {
+	defer close(job.verdicts)
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("%w: %v", ErrAnalysisPanic, r)
+		}
+	}()
+	faultinject.Do(ctx, faultinject.PointAllocPressure)
+	faultinject.Do(ctx, faultinject.PointSolverStall)
+	faultinject.Do(ctx, faultinject.PointWorkerPanic)
+	return e.runSweep(ctx, job, req)
+}
+
+// runSweep answers a sweep request on a pooled warm session: acquire (or
+// single-flight build) the session for the request's fingerprint, then
+// deepen 1..max_t by assumption-based re-solve, streaming each horizon's
+// verdict to the job as it lands. A program whose encoding cannot be
+// shared across horizons (session.ErrConstHorizon) sweeps cold; a session
+// evicted mid-sweep degrades the remaining horizons to cold solves.
+func (e *Engine) runSweep(ctx context.Context, job *Job, req *Request) (*Result, error) {
+	_, psp := telemetry.StartSpan(ctx, "parse")
+	prog, err := core.Parse(req.Source)
+	psp.End()
+	if err != nil {
+		return nil, err
+	}
+	maxT := req.effMaxT()
+	a := req.analysis()
+	a.T = maxT // session capacity; also what the pre-solve vet gate sees
+	a.Progress = job.progress
+	mode := smtbe.Verify
+	if req.SweepMode == "witness" {
+		mode = smtbe.Witness
+	}
+	sess, release, hit, err := e.sessions.acquire(ctx, req.SessionKey(), func() (*session.Session, error) {
+		return prog.NewSession(a, maxT)
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	sr, err := prog.SweepWithSession(ctx, sess, a, core.SweepOptions{
+		MaxT: maxT, Mode: mode,
+		OnVerdict: func(v session.Verdict) {
+			job.sendVerdict(SweepVerdict{
+				T: v.T, Status: v.Status.String(), Warm: v.Warm,
+				DurationUS: v.Duration.Microseconds(), Conflicts: v.Conflicts,
+			})
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return resultFromSweep(sr, hit), nil
 }
 
 // runAnalysis executes one request through the core facade's

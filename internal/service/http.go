@@ -35,6 +35,12 @@ const maxRequestBody = 4 << 20
 //	GET  /healthz/ready         readiness: 503 once draining or shut down
 //	GET  /metrics               Prometheus text (?format=json for a JSON snapshot)
 //
+// POST /v1/sweep runs a minimal-horizon sweep on a warm pooled solver
+// session and streams NDJSON: one {"verdict": ...} line per horizon as it
+// is solved, then a final {"done": <job view>} line with the full result.
+// With ?async=1 it behaves like the other analysis posts (202 + job ID;
+// the verdicts arrive with the polled result instead of streaming).
+//
 // Analysis posts are synchronous by default: the handler waits for the
 // job and the response carries the result. Abandoning the request
 // (client disconnect) cancels the in-flight solve. With ?async=1 the
@@ -45,6 +51,7 @@ func NewHandler(e *Engine) http.Handler {
 	mux.HandleFunc("POST /v1/witness", submitHandler(e, KindWitness))
 	mux.HandleFunc("POST /v1/synthesize", submitHandler(e, KindSynthesize))
 	mux.HandleFunc("POST /v1/bound", submitHandler(e, KindBound))
+	mux.HandleFunc("POST /v1/sweep", sweepHandler(e))
 	mux.HandleFunc("POST /v1/vet", vetHandler(e))
 	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		job, ok := e.Job(r.PathValue("id"))
@@ -175,6 +182,102 @@ func submitHandler(e *Engine, kind Kind) http.HandlerFunc {
 			w.Header().Set("Retry-After", strconv.Itoa(e.RetryAfter()))
 		}
 		writeJSON(w, status, viewOf(job))
+	}
+}
+
+// sweepLine is one NDJSON line of a streamed sweep response: exactly one
+// of Verdict (a horizon landed) or Done (the job is terminal) is set.
+type sweepLine struct {
+	Verdict *SweepVerdict `json:"verdict,omitempty"`
+	Done    *JobView      `json:"done,omitempty"`
+}
+
+// sweepHandler serves POST /v1/sweep: submit a sweep job and stream its
+// per-horizon verdicts as NDJSON while the worker deepens, finishing with
+// the terminal job view. Cache hits replay their verdicts from the cached
+// result so the wire shape is identical either way.
+func sweepHandler(e *Engine) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var req Request
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+			return
+		}
+		req.Kind = KindSweep
+
+		job, err := e.Submit(&req)
+		switch {
+		case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDeadlineUnmeetable), errors.Is(err, ErrClosed):
+			w.Header().Set("Retry-After", strconv.Itoa(e.RetryAfter()))
+			writeError(w, http.StatusServiceUnavailable, err)
+			return
+		case err != nil:
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+
+		if async := r.URL.Query().Get("async"); async == "1" || async == "true" {
+			w.Header().Set("Location", "/v1/jobs/"+job.ID)
+			writeJSON(w, http.StatusAccepted, viewOf(job))
+			return
+		}
+
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		flusher, _ := w.(http.Flusher)
+		enc := json.NewEncoder(w)
+		writeLine := func(line sweepLine) {
+			enc.Encode(line)
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+
+		// Cache hits carry no stream; replay the cached verdicts so clients
+		// see the same line protocol.
+		ch := job.Verdicts()
+	stream:
+		for ch != nil {
+			select {
+			case v, ok := <-ch:
+				if !ok {
+					break stream
+				}
+				writeLine(sweepLine{Verdict: &v})
+			case <-job.Done():
+				// Canceled while queued (the worker never ran, so the
+				// channel never closes): drain whatever is buffered.
+				for {
+					select {
+					case v, ok := <-ch:
+						if ok {
+							writeLine(sweepLine{Verdict: &v})
+							continue
+						}
+					default:
+					}
+					break stream
+				}
+			case <-r.Context().Done():
+				job.Cancel()
+				return
+			}
+		}
+		select {
+		case <-job.Done():
+		case <-r.Context().Done():
+			job.Cancel()
+			return
+		}
+		if res, _ := job.Result(); res != nil && res.CacheHit {
+			for i := range res.Verdicts {
+				writeLine(sweepLine{Verdict: &res.Verdicts[i]})
+			}
+		}
+		view := viewOf(job)
+		writeLine(sweepLine{Done: &view})
 	}
 }
 

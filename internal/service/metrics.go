@@ -23,6 +23,7 @@ type metrics struct {
 	submittedWitness    atomic.Int64
 	submittedSynthesize atomic.Int64
 	submittedBound      atomic.Int64
+	submittedSweep      atomic.Int64
 
 	completed atomic.Int64 // jobs that produced a conclusive or unknown result
 	failed    atomic.Int64 // jobs that errored (parse/type/compile errors, deadline)
@@ -49,6 +50,14 @@ type metrics struct {
 
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
+
+	// Warm-session pool telemetry: sweep jobs served by an already-built
+	// session vs. builds, and evictions by reason ("entries": LRU slot
+	// pressure, "memory": byte-budget pressure, learnt-DB growth included).
+	sessionHits   atomic.Int64
+	sessionMisses atomic.Int64
+	evictMu       sync.Mutex
+	evictionsBy   map[string]int64
 
 	workersBusy atomic.Int64
 
@@ -85,6 +94,7 @@ type metrics struct {
 
 func newMetrics() *metrics {
 	return &metrics{
+		evictionsBy:   make(map[string]int64),
 		latBuckets:    make([]int64, len(latencyBuckets)),
 		portWins:      make(map[string]int64),
 		portBuckets:   make([]int64, len(latencyBuckets)),
@@ -125,6 +135,13 @@ func (m *metrics) recordStages(stages map[string]time.Duration) {
 	m.stageMu.Unlock()
 }
 
+// recordSessionEviction counts one pool eviction under its reason.
+func (m *metrics) recordSessionEviction(reason string) {
+	m.evictMu.Lock()
+	m.evictionsBy[reason]++
+	m.evictMu.Unlock()
+}
+
 // recordFailed counts one failed job under its taxonomy reason.
 func (m *metrics) recordFailed(reason string) {
 	m.failed.Add(1)
@@ -158,6 +175,8 @@ func (m *metrics) recordSubmit(kind Kind) {
 		m.submittedSynthesize.Add(1)
 	case KindBound:
 		m.submittedBound.Add(1)
+	case KindSweep:
+		m.submittedSweep.Add(1)
 	}
 }
 
@@ -225,6 +244,12 @@ type Snapshot struct {
 	CacheEntries int     `json:"cache_entries"`
 	CacheHitRate float64 `json:"cache_hit_rate"`
 
+	SessionsLive     int              `json:"sessions_live"`
+	SessionBytes     int64            `json:"session_bytes"`
+	SessionHits      int64            `json:"session_hits"`
+	SessionMisses    int64            `json:"session_misses"`
+	SessionEvictions map[string]int64 `json:"session_evictions,omitempty"`
+
 	SatConflicts    int64 `json:"sat_conflicts"`
 	SatDecisions    int64 `json:"sat_decisions"`
 	SatPropagations int64 `json:"sat_propagations"`
@@ -248,13 +273,14 @@ type Snapshot struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
 }
 
-func (m *metrics) snapshot(queueDepth, workers, cacheEntries int) Snapshot {
+func (m *metrics) snapshot(queueDepth, workers, cacheEntries, sessionsLive int, sessionBytes int64) Snapshot {
 	s := Snapshot{
 		JobsSubmitted: map[string]int64{
 			string(KindVerify):     m.submittedVerify.Load(),
 			string(KindWitness):    m.submittedWitness.Load(),
 			string(KindSynthesize): m.submittedSynthesize.Load(),
 			string(KindBound):      m.submittedBound.Load(),
+			string(KindSweep):      m.submittedSweep.Load(),
 		},
 		JobsCompleted: m.completed.Load(),
 		JobsFailed:    m.failed.Load(),
@@ -275,6 +301,11 @@ func (m *metrics) snapshot(queueDepth, workers, cacheEntries int) Snapshot {
 		CacheHits:    m.cacheHits.Load(),
 		CacheMisses:  m.cacheMisses.Load(),
 		CacheEntries: cacheEntries,
+
+		SessionsLive:  sessionsLive,
+		SessionBytes:  sessionBytes,
+		SessionHits:   m.sessionHits.Load(),
+		SessionMisses: m.sessionMisses.Load(),
 
 		SatConflicts:    m.satConflicts.Load(),
 		SatDecisions:    m.satDecisions.Load(),
@@ -306,6 +337,14 @@ func (m *metrics) snapshot(queueDepth, workers, cacheEntries int) Snapshot {
 		}
 	}
 	m.labMu.Unlock()
+	m.evictMu.Lock()
+	if len(m.evictionsBy) > 0 {
+		s.SessionEvictions = make(map[string]int64, len(m.evictionsBy))
+		for k, v := range m.evictionsBy {
+			s.SessionEvictions[k] = v
+		}
+	}
+	m.evictMu.Unlock()
 	m.latMu.Lock()
 	s.SolveCount = m.latCount
 	s.SolveSecondsSum = float64(m.latSumNanos) / 1e9
@@ -403,6 +442,13 @@ func (s Snapshot) WritePrometheus(w io.Writer) {
 	counter("buffy_cache_misses_total", "Analyses that had to solve.", s.CacheMisses)
 	gauge("buffy_cache_entries", "Results currently cached.", float64(s.CacheEntries))
 	gauge("buffy_cache_hit_rate", "Lifetime cache hit fraction.", s.CacheHitRate)
+
+	gauge("buffy_sessions_live", "Warm solver sessions currently pooled.", float64(s.SessionsLive))
+	gauge("buffy_session_bytes", "Estimated pool memory: encodings plus learnt-clause databases.", float64(s.SessionBytes))
+	counter("buffy_session_hits_total", "Sweeps served by an already-warm pooled session.", s.SessionHits)
+	counter("buffy_session_misses_total", "Sweeps that built a new session.", s.SessionMisses)
+	labeled("buffy_session_evictions_total", "Pool evictions by reason (entries: LRU slots, memory: byte budget).",
+		"reason", s.SessionEvictions)
 
 	counter("buffy_sat_conflicts_total", "Cumulative CDCL conflicts.", s.SatConflicts)
 	counter("buffy_sat_decisions_total", "Cumulative CDCL decisions.", s.SatDecisions)

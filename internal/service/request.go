@@ -16,6 +16,7 @@ import (
 	"encoding/binary"
 	"encoding/hex"
 	"fmt"
+	"hash"
 	"math"
 	"sort"
 	"time"
@@ -25,6 +26,7 @@ import (
 	"buffy/internal/backend/smtbe"
 	"buffy/internal/core"
 	"buffy/internal/portfolio"
+	"buffy/internal/session"
 	"buffy/internal/smt/bitblast"
 	"buffy/internal/smt/sat"
 )
@@ -38,11 +40,12 @@ const (
 	KindWitness    Kind = "witness"    // FPerf direction: find a query witness trace
 	KindSynthesize Kind = "synthesize" // FPerf back-end: synthesize a guaranteeing workload
 	KindBound      Kind = "bound"      // network-calculus analytical delay/backlog bounds
+	KindSweep      Kind = "sweep"      // minimal-horizon sweep on a warm pooled session
 )
 
 func (k Kind) valid() bool {
 	switch k {
-	case KindVerify, KindWitness, KindSynthesize, KindBound:
+	case KindVerify, KindWitness, KindSynthesize, KindBound, KindSweep:
 		return true
 	}
 	return false
@@ -96,6 +99,13 @@ type Request struct {
 	// bounds against the SMT backend at horizon T (kind == bound only): a
 	// reachable execution beyond the bound fails the job hard.
 	CrossCheck bool `json:"cross_check,omitempty"`
+	// MaxT is the sweep's deepest horizon (kind == sweep; default 8). It is
+	// also the warm session's capacity, so it participates in the session
+	// fingerprint: sweeps to different depths use different sessions.
+	MaxT int `json:"max_t,omitempty"`
+	// SweepMode is the per-horizon query direction for a sweep: "verify"
+	// (default) or "witness".
+	SweepMode string `json:"sweep_mode,omitempty"`
 }
 
 // MaxPortfolio bounds how many solver configurations one request may
@@ -157,7 +167,23 @@ func (r *Request) Validate() error {
 	if r.RandFreq < 0 || r.RandFreq > 1 {
 		return fmt.Errorf("service: rand_freq %g out of range [0, 1]", r.RandFreq)
 	}
+	if r.MaxT < 0 || r.MaxT > MaxHorizon {
+		return fmt.Errorf("service: max_t %d out of range [0, %d]", r.MaxT, MaxHorizon)
+	}
+	switch r.SweepMode {
+	case "", "verify", "witness":
+	default:
+		return fmt.Errorf("service: sweep_mode %q (want verify | witness)", r.SweepMode)
+	}
 	return nil
+}
+
+// effMaxT is the sweep depth with the default applied.
+func (r *Request) effMaxT() int {
+	if r.MaxT == 0 {
+		return 8
+	}
+	return r.MaxT
 }
 
 // searchOptions maps the request's heuristic knobs to sat.Options.
@@ -208,64 +234,100 @@ func (r *Request) analysis() core.Analysis {
 // winning config) comes back — so they participate in the key and
 // differently-configured requests never alias.
 func (r *Request) CacheKey() string {
-	h := sha256.New()
-	writeField := func(s string) {
-		var n [8]byte
-		binary.LittleEndian.PutUint64(n[:], uint64(len(s)))
-		h.Write(n[:])
-		h.Write([]byte(s))
-	}
-	writeInt := func(v int64) {
-		var n [8]byte
-		binary.LittleEndian.PutUint64(n[:], uint64(v))
-		h.Write(n[:])
-	}
-	writeUint := func(v uint64) {
-		var n [8]byte
-		binary.LittleEndian.PutUint64(n[:], v)
-		h.Write(n[:])
-	}
-	writeFloat := func(v float64) { writeUint(math.Float64bits(v)) }
-	writeBool := func(v bool) {
-		if v {
-			writeInt(1)
-		} else {
-			writeInt(0)
-		}
-	}
-	writeField(string(r.Kind))
-	writeField(r.Source)
-	writeField(r.Model)
-	writeInt(int64(r.T))
-	writeInt(int64(r.Width))
-	writeInt(int64(r.BufferCap))
-	writeInt(int64(r.OutBufferCap))
-	writeInt(int64(r.ArrivalsPerStep))
-	writeInt(int64(r.NumClasses))
-	writeInt(int64(r.MaxBytes))
-	writeInt(int64(r.ListCap))
-	writeInt(r.MaxConflicts)
-	writeInt(r.MaxPropagations)
-	writeInt(r.MaxLearntBytes)
-	writeInt(int64(r.Portfolio))
-	writeInt(r.RestartBase)
-	writeBool(r.GeomRestarts)
-	writeFloat(r.VarDecay)
-	writeBool(r.InitPhase)
-	writeUint(r.RandSeed)
-	writeFloat(r.RandFreq)
-	writeBool(r.CrossCheck)
+	h := newKeyHasher()
+	h.field(string(r.Kind))
+	h.int(int64(r.T))
+	h.int(int64(r.Portfolio))
+	h.bool(r.CrossCheck)
+	h.int(int64(r.MaxT))
+	h.field(r.SweepMode)
+	r.writeSolverFields(h)
+	return h.sum()
+}
+
+// SessionKey is the content address of the warm-session fingerprint: a
+// hash over everything that determines the session's encoding and solver
+// behavior — program source, buffer model, compile-time parameters,
+// capacity heuristics, bit width, per-call solver budgets and search
+// heuristics, and the session capacity (effMaxT). Deliberately absent:
+// the query direction and per-request horizon (those are retractable
+// assumptions on one shared encoding — the whole point of a session) and
+// the wall-clock timeout (a context property, not a solver one). Two
+// requests with equal session keys may safely share one warm session.
+func (r *Request) SessionKey() string {
+	h := newKeyHasher()
+	h.int(int64(r.effMaxT()))
+	r.writeSolverFields(h)
+	return h.sum()
+}
+
+// writeSolverFields hashes every knob that changes the encoding or the
+// solver's behavior — the shared core of CacheKey and SessionKey. Adding
+// a solver-relevant Request field means adding it here, which keeps the
+// two keys from silently diverging (TestSessionKeyDiscriminates enforces
+// this per field).
+func (r *Request) writeSolverFields(h *keyHasher) {
+	h.field(r.Source)
+	h.field(r.Model)
+	h.int(int64(r.Width))
+	h.int(int64(r.BufferCap))
+	h.int(int64(r.OutBufferCap))
+	h.int(int64(r.ArrivalsPerStep))
+	h.int(int64(r.NumClasses))
+	h.int(int64(r.MaxBytes))
+	h.int(int64(r.ListCap))
+	h.int(r.MaxConflicts)
+	h.int(r.MaxPropagations)
+	h.int(r.MaxLearntBytes)
+	h.int(r.RestartBase)
+	h.bool(r.GeomRestarts)
+	h.float(r.VarDecay)
+	h.bool(r.InitPhase)
+	h.uint(r.RandSeed)
+	h.float(r.RandFreq)
 	names := make([]string, 0, len(r.Params))
 	for name := range r.Params {
 		names = append(names, name)
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		writeField(name)
-		writeInt(r.Params[name])
+		h.field(name)
+		h.int(r.Params[name])
 	}
-	return hex.EncodeToString(h.Sum(nil))
 }
+
+// keyHasher is a length-prefixed sha256 field hasher shared by the cache
+// and session keys.
+type keyHasher struct{ h hash.Hash }
+
+func newKeyHasher() *keyHasher { return &keyHasher{h: sha256.New()} }
+
+func (k *keyHasher) field(s string) {
+	var n [8]byte
+	binary.LittleEndian.PutUint64(n[:], uint64(len(s)))
+	k.h.Write(n[:])
+	k.h.Write([]byte(s))
+}
+
+func (k *keyHasher) int(v int64) { k.uint(uint64(v)) }
+
+func (k *keyHasher) uint(v uint64) {
+	var n [8]byte
+	binary.LittleEndian.PutUint64(n[:], v)
+	k.h.Write(n[:])
+}
+
+func (k *keyHasher) float(v float64) { k.uint(math.Float64bits(v)) }
+
+func (k *keyHasher) bool(v bool) {
+	if v {
+		k.int(1)
+	} else {
+		k.int(0)
+	}
+}
+
+func (k *keyHasher) sum() string { return hex.EncodeToString(k.h.Sum(nil)) }
 
 // Result is the serializable outcome of an analysis job. Trace is set for
 // verify/witness results that produced one; Workload for synthesis.
@@ -309,6 +371,23 @@ type Result struct {
 	// retry); Degraded names the degradation step applied, if any.
 	Attempts int    `json:"attempts,omitempty"`
 	Degraded string `json:"degraded,omitempty"`
+	// Sweep outcome (kind == sweep): every solved horizon's verdict in
+	// order, the first horizon that produced a trace (0 = none up to
+	// max_t), whether every horizon ran warm, and whether the sweep reused
+	// an already-pooled session (false: it built — and pooled — a new one).
+	Verdicts   []SweepVerdict `json:"verdicts,omitempty"`
+	FoundAt    int            `json:"found_at,omitempty"`
+	Warm       bool           `json:"warm,omitempty"`
+	SessionHit bool           `json:"session_hit,omitempty"`
+}
+
+// SweepVerdict is the wire form of one horizon's answer within a sweep.
+type SweepVerdict struct {
+	T          int    `json:"t"`
+	Status     string `json:"status"`
+	Warm       bool   `json:"warm"`
+	DurationUS int64  `json:"duration_us"`
+	Conflicts  int64  `json:"conflicts"`
 }
 
 // conclusive reports whether the result is a definite answer worth
@@ -375,6 +454,25 @@ func resultFromBound(r *netcalc.Result) *Result {
 		res.Status = "bounded"
 		res.Delay = r.Delay.RatString()
 		res.Backlog = r.Backlog.RatString()
+	}
+	return res
+}
+
+// resultFromSweep flattens a sweep outcome into the wire result. The
+// top-level status, trace and solver-effort fields are the final
+// horizon's (the one that ended the sweep); the per-horizon story rides
+// in Verdicts.
+func resultFromSweep(sr *session.SweepResult, hit bool) *Result {
+	res := resultFromCheck(KindSweep, sr.Final)
+	res.DurationMS = sr.Duration.Milliseconds()
+	res.FoundAt = sr.FoundAt
+	res.Warm = sr.Warm
+	res.SessionHit = hit
+	for _, v := range sr.Verdicts {
+		res.Verdicts = append(res.Verdicts, SweepVerdict{
+			T: v.T, Status: v.Status.String(), Warm: v.Warm,
+			DurationUS: v.Duration.Microseconds(), Conflicts: v.Conflicts,
+		})
 	}
 	return res
 }

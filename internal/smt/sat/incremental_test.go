@@ -1,0 +1,195 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+
+	"buffy/internal/smt/cnf"
+)
+
+// randomInstance builds a random 3-SAT instance (fixed seed, deterministic)
+// over n vars, reserving the last var as an assumption selector.
+func randomInstance(s *Solver, rng *rand.Rand, n, clauses int) {
+	newVars(s, n)
+	for i := 0; i < clauses; i++ {
+		a := rng.Intn(n-1) + 1
+		b := rng.Intn(n-1) + 1
+		c := rng.Intn(n-1) + 1
+		s.AddClause(lit(a, rng.Intn(2) == 0), lit(b, rng.Intn(2) == 0), lit(c, rng.Intn(2) == 0))
+	}
+}
+
+// TestLearntClausesSurviveAssumptionSolves: learnt clauses accumulated
+// under one set of assumptions persist into later SolveLimited calls —
+// the property warm sessions are built on. Learnt clauses are implied by
+// the problem clauses alone (assumptions enter as pseudo-decisions, never
+// as antecedents at level 0), so retention is sound whatever is assumed
+// next; this test checks both retention and continued correctness.
+func TestLearntClausesSurviveAssumptionSolves(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	// Ratio ~3.8: satisfiable but conflict-rich, away from the 4.26
+	// phase transition (these run many times against fresh references).
+	const n, cls = 40, 152
+	s := New()
+	randomInstance(s, rng, n, cls)
+
+	// Solve under a series of assumption sets, tracking learnt growth.
+	var prevLearnt int64
+	for round := 0; round < 6; round++ {
+		assume := []cnf.Lit{
+			lit(1+round%n, round%2 == 0),
+			lit(1+(round*7)%n, round%3 == 0),
+		}
+		got := s.SolveLimited(Limits{}, assume...)
+
+		// Reference: a fresh solver over the same problem with the
+		// assumptions added as unit clauses must agree.
+		ref := New()
+		rng2 := rand.New(rand.NewSource(7))
+		randomInstance(ref, rng2, n, cls)
+		ok := true
+		for _, a := range assume {
+			if !ref.AddClause(a) {
+				ok = false
+				break
+			}
+		}
+		want := Unsat
+		if ok {
+			want = ref.Solve()
+		}
+		if got != want {
+			t.Fatalf("round %d: incremental %v, fresh %v", round, got, want)
+		}
+		if l := s.Stats().Learnt; l < prevLearnt {
+			t.Fatalf("round %d: learnt count went backwards (%d -> %d)", round, prevLearnt, l)
+		} else {
+			prevLearnt = l
+		}
+	}
+	if prevLearnt == 0 {
+		t.Fatal("instance never produced a learnt clause; test is vacuous")
+	}
+}
+
+// TestAssumptionSafeRestarts: with an aggressive restart schedule the
+// search restarts many times mid-solve; restarts must never pop the
+// assumption levels (the s.decisionLevel() > len(assumptions) guard) and
+// verdicts must stay correct across repeated calls on one solver.
+func TestAssumptionSafeRestarts(t *testing.T) {
+	// Geometric restarts from a tiny base: restart pressure throughout,
+	// without crippling the search into thrashing.
+	opts := Options{GeomRestarts: true, RestartBase: 4, RestartGrowth: 1.1}
+	rng := rand.New(rand.NewSource(11))
+	const n, cls = 36, 137
+	s := NewWithOptions(opts)
+	randomInstance(s, rng, n, cls)
+
+	for round := 0; round < 8; round++ {
+		assume := []cnf.Lit{
+			lit(1+round%n, round%2 == 1),
+			lit(1+(round*3)%n, round%2 == 0),
+			lit(1+(round*13)%n, round%4 < 2),
+		}
+		got := s.SolveLimited(Limits{}, assume...)
+		ref := New()
+		rng2 := rand.New(rand.NewSource(11))
+		randomInstance(ref, rng2, n, cls)
+		ok := true
+		for _, a := range assume {
+			if !ref.AddClause(a) {
+				ok = false
+				break
+			}
+		}
+		want := Unsat
+		if ok {
+			want = ref.Solve()
+		}
+		if got != want {
+			t.Fatalf("round %d: incremental-with-restarts %v, fresh %v", round, got, want)
+		}
+		if got == Sat {
+			// The model must satisfy the assumptions.
+			for _, a := range assume {
+				if !s.LitTrue(a) {
+					t.Fatalf("round %d: assumption %v not satisfied by model", round, a)
+				}
+			}
+		}
+	}
+	if s.Stats().Restarts == 0 {
+		t.Fatal("restart schedule never fired; test is vacuous")
+	}
+}
+
+// TestAssumptionsDoNotStick: an assumption from one call must not
+// constrain the next call. Solve x1 assumed false (Sat), then x1 assumed
+// true (Sat), then no assumptions — x1 must be free again and the
+// formula still Sat.
+func TestAssumptionsDoNotStick(t *testing.T) {
+	s := New()
+	newVars(s, 3)
+	// (x1 | x2) & (!x1 | x3)
+	s.AddClause(lit(1, false), lit(2, false))
+	s.AddClause(lit(1, true), lit(3, false))
+	if got := s.SolveLimited(Limits{}, lit(1, true)); got != Sat {
+		t.Fatalf("assume !x1: %v, want sat", got)
+	}
+	if s.Value(1) {
+		t.Fatal("model violates assumption !x1")
+	}
+	if got := s.SolveLimited(Limits{}, lit(1, false)); got != Sat {
+		t.Fatalf("assume x1: %v, want sat", got)
+	}
+	if !s.Value(1) {
+		t.Fatal("model violates assumption x1")
+	}
+	if got := s.SolveLimited(Limits{}); got != Sat {
+		t.Fatalf("no assumptions: %v, want sat", got)
+	}
+}
+
+// TestConflictingAssumptionsRecoverable: directly conflicting assumptions
+// yield Unsat for that call only; the solver stays usable and the same
+// formula is Sat again without them (the level-0 ok flag must not trip).
+func TestConflictingAssumptionsRecoverable(t *testing.T) {
+	s := New()
+	newVars(s, 2)
+	s.AddClause(lit(1, false), lit(2, false))
+	if got := s.SolveLimited(Limits{}, lit(1, false), lit(1, true)); got != Unsat {
+		t.Fatalf("conflicting assumptions: %v, want unsat", got)
+	}
+	if got := s.SolveLimited(Limits{}); got != Sat {
+		t.Fatalf("after conflicting assumptions: %v, want sat", got)
+	}
+}
+
+// TestReduceDBKeepsAssumptionSoundness: force learnt-DB reductions with a
+// tiny budget while solving under assumptions; answers must stay correct.
+// reduceDB backtracks to level 0 (past the assumption levels), so the
+// solve loop must re-establish the assumption prefix afterwards.
+func TestReduceDBKeepsAssumptionSoundness(t *testing.T) {
+	// A tiny learnt-DB limit forces constant reductions. (withDefaults
+	// clamps LearntFrac/Growth upward from zero, so the additive floor
+	// is the lever: limit ≈ 170/3 + 4, hit almost immediately.)
+	opts := Options{LearntBase: 4, LearntFrac: 0.01, LearntGrowth: 1.001}
+	rng := rand.New(rand.NewSource(3))
+	const n, cls = 34, 129
+	s := NewWithOptions(opts)
+	randomInstance(s, rng, n, cls)
+	for round := 0; round < 6; round++ {
+		assume := []cnf.Lit{lit(1+round*5%n, round%2 == 0)}
+		got := s.SolveLimited(Limits{}, assume...)
+		ref := New()
+		rng2 := rand.New(rand.NewSource(3))
+		randomInstance(ref, rng2, n, cls)
+		want := Unsat
+		if ref.AddClause(assume[0]) {
+			want = ref.Solve()
+		}
+		if got != want {
+			t.Fatalf("round %d: %v, want %v", round, got, want)
+		}
+	}
+}

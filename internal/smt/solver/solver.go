@@ -121,6 +121,12 @@ func (s *Solver) Fork(search sat.Options) *Solver {
 // Width returns the integer bit width.
 func (s *Solver) Width() int { return s.opts.Width }
 
+// SetProgress replaces the live-progress sink used by subsequent checks.
+// A warm session answers queries for many jobs on one solver; each query
+// attaches the requesting job's Progress for its duration. Not safe to
+// call while a check is in flight.
+func (s *Solver) SetProgress(p *sat.Progress) { s.opts.Progress = p }
+
 // Assert adds a boolean term to the assertion set.
 func (s *Solver) Assert(t *term.Term) {
 	s.asserted = append(s.asserted, t)
