@@ -17,6 +17,7 @@
 //	buffy-bench -exp netcalc  # extension: analytical bounds vs SMT differential
 //	buffy-bench -exp vet      # extension: static-tier latency vs solver time saved
 //	buffy-bench -exp sweep    # extension: warm-session sweep vs cold per-horizon
+//	buffy-bench -exp store    # extension: durable store, disk-hit vs cold across restart
 //	buffy-bench -exp all
 package main
 
@@ -45,10 +46,11 @@ var experiments = []struct {
 	{"netcalc", "extension — network-calculus bounds (µs) vs SMT differential certification", runNetcalc},
 	{"vet", "extension — static tier latency (µs) vs solver time saved", runVetExp},
 	{"sweep", "extension — warm-session sweep vs cold per-horizon solves", runSweepExp},
+	{"store", "extension — durable result store: disk-hit vs cold-solve across a restart", runStoreExp},
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (table1 fig6 cs1 cs1b cs2 a1 a2 a3 a4 portfolio stages netcalc vet sweep all)")
+	exp := flag.String("exp", "all", "experiment id (table1 fig6 cs1 cs1b cs2 a1 a2 a3 a4 portfolio stages netcalc vet sweep store all)")
 	flag.Parse()
 	ran := false
 	for _, e := range experiments {

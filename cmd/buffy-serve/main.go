@@ -34,7 +34,24 @@ import (
 	"time"
 
 	"buffy/internal/service"
+	"buffy/internal/store"
 )
+
+// validateSizing rejects zero/negative pool and store sizes at startup
+// with a clear error, instead of letting a typo'd flag select library
+// defaults (0) or disable a subsystem (<0) silently.
+func validateSizing(sessions int, sessionBytes, storeBytes int64) error {
+	if sessions <= 0 {
+		return fmt.Errorf("-sessions must be positive (got %d)", sessions)
+	}
+	if sessionBytes <= 0 {
+		return fmt.Errorf("-session-bytes must be positive (got %d)", sessionBytes)
+	}
+	if storeBytes <= 0 {
+		return fmt.Errorf("-store-bytes must be positive (got %d)", storeBytes)
+	}
+	return nil
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -45,8 +62,10 @@ func main() {
 	drain := flag.Duration("drain", 30*time.Second, "graceful drain budget on shutdown")
 	retries := flag.Int("retries", 1, "max retries for transient failures (budget exhaustion, panic, disagreement)")
 	backoff := flag.Duration("retry-backoff", 50*time.Millisecond, "initial retry backoff (doubles per attempt)")
-	sessions := flag.Int("sessions", 0, "warm-session pool entries for /v1/sweep (0 default 32, <0 disables pooling)")
-	sessionBytes := flag.Int64("session-bytes", 0, "warm-session pool memory budget, estimated bytes (0 default 256 MiB)")
+	sessions := flag.Int("sessions", 32, "warm-session pool entries for /v1/sweep (must be positive)")
+	sessionBytes := flag.Int64("session-bytes", 256<<20, "warm-session pool memory budget, estimated bytes (must be positive)")
+	storeDir := flag.String("store-dir", "", "durable result store directory (empty disables the disk cache tier)")
+	storeBytes := flag.Int64("store-bytes", 1<<30, "durable result store byte budget, LRU-evicted beyond it (must be positive)")
 	traceSpans := flag.Int("trace-spans", 0, "max spans per job trace (0 default, <0 disables tracing)")
 	traceKeep := flag.Int("trace-retention", 128, "finished traces kept for /v1/traces")
 	logFormat := flag.String("log-format", "text", "log output format: text or json")
@@ -59,10 +78,33 @@ func main() {
 		os.Exit(2)
 	}
 
+	if err := validateSizing(*sessions, *sessionBytes, *storeBytes); err != nil {
+		fmt.Fprintf(os.Stderr, "buffy-serve: %v\n", err)
+		os.Exit(2)
+	}
+
 	logger, err := newLogger(*logFormat, *logLevel)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "buffy-serve: %v\n", err)
 		os.Exit(2)
+	}
+
+	var resultStore *store.Store
+	if *storeDir != "" {
+		resultStore, err = store.Open(store.Options{
+			Dir:         *storeDir,
+			Fingerprint: service.PipelineFingerprint(),
+			MaxBytes:    *storeBytes,
+			Logger:      logger,
+		})
+		if err != nil {
+			// A misconfigured store dir is a deployment error: failing fast
+			// beats silently running ephemeral.
+			fmt.Fprintf(os.Stderr, "buffy-serve: %v\n", err)
+			os.Exit(1)
+		}
+		logger.Info("durable result store open", "dir", *storeDir,
+			"budget_bytes", *storeBytes, "read_only", resultStore.ReadOnly())
 	}
 
 	engine := service.New(service.Config{
@@ -77,6 +119,7 @@ func main() {
 		TraceRetention:  *traceKeep,
 		SessionEntries:  *sessions,
 		SessionMaxBytes: *sessionBytes,
+		Store:           resultStore,
 	})
 	handler := service.WithRequestLogging(logger, service.NewHandler(engine))
 	server := &http.Server{Addr: *addr, Handler: handler}

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateSizing(t *testing.T) {
+	cases := []struct {
+		name         string
+		sessions     int
+		sessionBytes int64
+		storeBytes   int64
+		wantErr      string // substring; "" means valid
+	}{
+		{"defaults", 32, 256 << 20, 1 << 30, ""},
+		{"minimal", 1, 1, 1, ""},
+		{"zero sessions", 0, 256 << 20, 1 << 30, "-sessions"},
+		{"negative sessions", -1, 256 << 20, 1 << 30, "-sessions"},
+		{"zero session bytes", 32, 0, 1 << 30, "-session-bytes"},
+		{"negative session bytes", 32, -5, 1 << 30, "-session-bytes"},
+		{"zero store bytes", 32, 256 << 20, 0, "-store-bytes"},
+		{"negative store bytes", 32, 256 << 20, -1, "-store-bytes"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateSizing(tc.sessions, tc.sessionBytes, tc.storeBytes)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("validateSizing = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("validateSizing accepted invalid value, want error naming %s", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not name the offending flag %s", err, tc.wantErr)
+			}
+		})
+	}
+}

@@ -10,6 +10,12 @@ import (
 	"buffy/internal/telemetry"
 )
 
+// Fingerprint names the analytical bound semantics (min-plus arrival /
+// service curves, TFA and SFA composition) for the durable result
+// store's pipeline fingerprint. Bump it when a curve construction or
+// composition change could tighten or loosen any reported bound.
+const Fingerprint = "minplus-tfa-sfa-v1"
+
 // Options configure a bound analysis. They mirror the compile-time knobs
 // of ir.Options that affect worst-case traffic (the bound is analytical —
 // no horizon, no search budgets).

@@ -32,6 +32,14 @@ import (
 	"buffy/internal/telemetry"
 )
 
+// EncodingFingerprint names the semantics of the bounded-horizon
+// encoding this backend produces. It is folded into the durable result
+// store's pipeline fingerprint: bump it whenever a change to the
+// unrolling, the constraint shapes, or the trace decoding could alter
+// the answer to any query, so stored results from the old encoding are
+// invalidated rather than served.
+const EncodingFingerprint = "bmc-unroll-v1"
+
 // Mode selects the query direction.
 type Mode int
 

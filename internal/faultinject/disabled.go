@@ -30,6 +30,14 @@ func Do(ctx context.Context, point string) {}
 // SkewDuration passes d through the point's clock-skew fault.
 func SkewDuration(point string, d time.Duration) time.Duration { return d }
 
+// ErrAt returns the point's scripted error, if armed (always nil without
+// the faultinject tag).
+func ErrAt(point string) error { return nil }
+
+// MutateBytes passes a byte payload through the point's torn-write /
+// bit-rot fault (identity without the faultinject tag).
+func MutateBytes(point string, data []byte) []byte { return data }
+
 // WithCancel registers a job's cancel function with the point's
 // cancel-storm fault.
 func WithCancel(point string, cancel func()) {}

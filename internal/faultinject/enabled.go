@@ -112,6 +112,43 @@ func SkewDuration(point string, d time.Duration) time.Duration {
 	return time.Nanosecond
 }
 
+// ErrAt returns the point's scripted error, if armed (nil otherwise).
+// Filesystem sites use it to simulate ENOSPC/EROFS/EIO without touching
+// the real disk.
+func ErrAt(point string) error {
+	f, ok := take(point)
+	if !ok {
+		return nil
+	}
+	return f.Err
+}
+
+// MutateBytes passes a byte payload through the point's torn-write /
+// bit-rot fault. The input is never modified in place: a fired fault
+// returns a mutated copy, an idle point returns data unchanged.
+func MutateBytes(point string, data []byte) []byte {
+	f, ok := take(point)
+	if !ok || len(data) == 0 || (f.TearAfter <= 0 && !f.Flip) {
+		return data
+	}
+	out := make([]byte, len(data))
+	copy(out, data)
+	if f.TearAfter > 0 && f.TearAfter < len(out) {
+		out = out[:f.TearAfter]
+	}
+	if f.Flip && len(out) > 0 {
+		at := f.FlipAt
+		if at < 0 {
+			at = 0
+		}
+		if at >= len(out) {
+			at = len(out) - 1
+		}
+		out[at] ^= 0x01
+	}
+	return out
+}
+
 // WithCancel registers a job's cancel function with the point's
 // cancel-storm fault: the job is cancelled Delay after it starts running,
 // simulating a client disconnect mid-solve.

@@ -32,6 +32,17 @@ const (
 	// PointClockSkew skews the per-job deadline computation, simulating
 	// clock drift between admission and execution.
 	PointClockSkew = "service.clock.skew"
+	// PointStoreWrite fails durable-store entry writes via ErrAt,
+	// simulating a full disk (ENOSPC) or a read-only filesystem (EROFS).
+	PointStoreWrite = "store.write"
+	// PointStoreCorrupt mutates the encoded entry bytes as they are
+	// written via MutateBytes: a torn write (TearAfter) or bit rot
+	// (Flip/FlipAt). The write is still acknowledged — exactly the
+	// failure the recovery scan and per-entry checksums must catch.
+	PointStoreCorrupt = "store.write.corrupt"
+	// PointStoreRead fails durable-store entry reads via ErrAt,
+	// simulating a transient I/O error on an otherwise intact entry.
+	PointStoreRead = "store.read"
 )
 
 // Fault scripts one injection point. Zero-valued fields do nothing, so a
@@ -48,6 +59,18 @@ type Fault struct {
 	// Skew is added to durations passed through SkewDuration (negative
 	// values shrink deadlines).
 	Skew time.Duration
+	// Err, when non-nil, is returned by ErrAt at the point — e.g.
+	// syscall.ENOSPC on a store write, simulating a full disk.
+	Err error
+	// TearAfter, when > 0, truncates byte payloads passed through
+	// MutateBytes to at most this many bytes — a torn write that was
+	// acknowledged but only partially reached stable storage.
+	TearAfter int
+	// Flip, when true, XOR-flips one bit of payloads passed through
+	// MutateBytes at byte offset FlipAt (clamped to the payload's last
+	// byte) — silent bit rot.
+	Flip   bool
+	FlipAt int
 	// Times caps how often the fault fires (0 = every hit). Once spent,
 	// the point reverts to a no-op — the "fault clears" half of chaos
 	// recovery tests.

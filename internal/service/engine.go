@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -18,6 +19,7 @@ import (
 	"buffy/internal/faultinject"
 	"buffy/internal/session"
 	"buffy/internal/smt/sat"
+	"buffy/internal/store"
 	"buffy/internal/telemetry"
 )
 
@@ -246,6 +248,12 @@ type Config struct {
 	// encodings plus learnt-clause databases (default 256 MiB; sessions
 	// whose learnt DB grows push colder entries out).
 	SessionMaxBytes int64
+	// Store, when non-nil, is the durable second cache tier: conclusive
+	// results are written behind (asynchronously) and missed keys are
+	// read through on Submit. The engine takes ownership and closes it
+	// on Shutdown. Open it under service.PipelineFingerprint() so a
+	// pipeline change invalidates stored answers.
+	Store *store.Store
 }
 
 func (c Config) withDefaults() Config {
@@ -300,6 +308,15 @@ type Engine struct {
 	traces   *traceRing
 	sessions *sessionPool
 
+	// Durable second cache tier (nil when not configured). Writes ride a
+	// bounded queue drained by a single writer goroutine so disk latency
+	// never blocks a solver worker; a full queue drops the write (the
+	// answer is still cached in memory) and counts it.
+	store     *store.Store
+	storeQ    chan storeWrite
+	storeWG   sync.WaitGroup
+	storeOnce sync.Once
+
 	draining atomic.Bool
 
 	baseCtx    context.Context
@@ -332,6 +349,12 @@ func New(cfg Config) *Engine {
 		baseCancel: cancel,
 		jobs:       make(map[string]*Job),
 	}
+	if cfg.Store != nil {
+		e.store = cfg.Store
+		e.storeQ = make(chan storeWrite, 256)
+		e.storeWG.Add(1)
+		go e.storeWriter()
+	}
 	e.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go e.worker()
@@ -339,8 +362,10 @@ func New(cfg Config) *Engine {
 	return e
 }
 
-// Submit validates and enqueues a request. A cache hit returns an
-// already-terminal job carrying the cached result — no worker involved.
+// Submit validates and enqueues a request. A cache hit — in the memory
+// LRU or, missing that, the durable disk tier — returns an
+// already-terminal job carrying the cached result, no worker involved;
+// a disk hit is also promoted into the memory tier.
 func (e *Engine) Submit(req *Request) (*Job, error) {
 	if err := req.Validate(); err != nil {
 		return nil, err
@@ -348,31 +373,42 @@ func (e *Engine) Submit(req *Request) (*Job, error) {
 	key := req.CacheKey()
 
 	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if cached, ok := e.cache.get(key); ok {
+		job := e.serveCachedLocked(req, cached, CacheTierMemory)
+		e.mu.Unlock()
+		return job, nil
+	}
+	e.mu.Unlock()
+
+	// Disk read-through runs outside the engine lock: a store Get is real
+	// I/O (read + checksum) and must not serialize submissions.
+	if cached, ok := e.storeGet(key); ok {
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			return nil, ErrClosed
+		}
+		tier := CacheTierDisk
+		if mem, ok := e.cache.get(key); ok {
+			// A racing identical submit promoted the entry while we read
+			// the disk; serve the memory copy.
+			cached, tier = mem, CacheTierMemory
+		} else {
+			e.cache.put(key, cached)
+		}
+		job := e.serveCachedLocked(req, cached, tier)
+		e.mu.Unlock()
+		return job, nil
+	}
+
+	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.closed {
 		return nil, ErrClosed
-	}
-
-	if cached, ok := e.cache.get(key); ok {
-		e.met.recordSubmit(req.Kind)
-		e.met.cacheHits.Add(1)
-		job := e.newJobLocked(req)
-		// A cache hit never runs the pipeline: no spans to record, no
-		// live progress to poll, no verdicts to stream (they ride in the
-		// cached result).
-		job.trace, job.progress, job.verdicts = nil, nil, nil
-		// Shallow copy: the trace/workload payload is shared (immutable),
-		// only the per-response CacheHit stamp differs.
-		res := *cached
-		res.CacheHit = true
-		job.state = StateDone
-		job.result = &res
-		job.started = job.submitted
-		job.finished = job.submitted
-		close(job.done)
-		e.met.completed.Add(1)
-		e.noteFinishedLocked(job.ID)
-		return job, nil
 	}
 
 	// Deadline-aware admission: with queueLen jobs already waiting for
@@ -410,6 +446,100 @@ func (e *Engine) Submit(req *Request) (*Job, error) {
 	e.met.recordSubmit(req.Kind)
 	e.met.cacheMisses.Add(1)
 	return job, nil
+}
+
+// serveCachedLocked builds the already-terminal job a cache hit returns,
+// stamped with the tier that served it.
+func (e *Engine) serveCachedLocked(req *Request, cached *Result, tier string) *Job {
+	e.met.recordSubmit(req.Kind)
+	e.met.cacheHits.Add(1)
+	job := e.newJobLocked(req)
+	// A cache hit never runs the pipeline: no spans to record, no
+	// live progress to poll, no verdicts to stream (they ride in the
+	// cached result).
+	job.trace, job.progress, job.verdicts = nil, nil, nil
+	// Shallow copy: the trace/workload payload is shared (immutable),
+	// only the per-response CacheHit/CacheTier stamps differ.
+	res := *cached
+	res.CacheHit = true
+	res.CacheTier = tier
+	job.state = StateDone
+	job.result = &res
+	job.started = job.submitted
+	job.finished = job.submitted
+	close(job.done)
+	e.met.completed.Add(1)
+	e.noteFinishedLocked(job.ID)
+	return job
+}
+
+// storeGet reads a result through the durable tier. The store has
+// already verified checksum and pipeline fingerprint; what remains is
+// semantic validation of the decoded payload — an entry that is
+// bit-exact yet undecodable or inconclusive is quarantined, never
+// served.
+func (e *Engine) storeGet(key string) (*Result, bool) {
+	if e.store == nil {
+		return nil, false
+	}
+	payload, ok := e.store.Get(key)
+	if !ok {
+		return nil, false
+	}
+	var res Result
+	if err := json.Unmarshal(payload, &res); err != nil {
+		e.store.Quarantine(key, "decode")
+		return nil, false
+	}
+	if !res.conclusive() {
+		e.store.Quarantine(key, "inconclusive")
+		return nil, false
+	}
+	// The promoted copy re-enters the memory tier as a fresh answer; the
+	// serving path stamps CacheHit/CacheTier per response.
+	res.CacheHit = false
+	res.CacheTier = ""
+	return &res, true
+}
+
+// storeWrite is one pending write-behind: a cache key and its
+// JSON-encoded conclusive Result.
+type storeWrite struct {
+	key     string
+	payload []byte
+}
+
+// storePutAsync hands a conclusive result to the store writer without
+// blocking the solver worker. A full write queue drops the write — the
+// answer stays served from memory; only restart warmth is lost — and
+// counts the drop.
+func (e *Engine) storePutAsync(key string, res *Result) {
+	if e.store == nil {
+		return
+	}
+	payload, err := json.Marshal(res)
+	if err != nil {
+		e.met.storeDropped.Add(1)
+		e.log.Warn("store write dropped: result not serializable", "key", key, "err", err.Error())
+		return
+	}
+	select {
+	case e.storeQ <- storeWrite{key: key, payload: payload}:
+	default:
+		e.met.storeDropped.Add(1)
+	}
+}
+
+// storeWriter drains the write-behind queue. Write failures (full disk,
+// read-only store) are logged and counted by the store; the in-memory
+// answer the client already received is unaffected.
+func (e *Engine) storeWriter() {
+	defer e.storeWG.Done()
+	for w := range e.storeQ {
+		if err := e.store.Put(w.key, w.payload); err != nil {
+			e.log.Warn("store write failed", "key", w.key, "err", err.Error())
+		}
+	}
 }
 
 func (e *Engine) newJobLocked(req *Request) *Job {
@@ -480,7 +610,14 @@ func (e *Engine) Job(id string) (*Job, bool) {
 // Metrics returns a point-in-time snapshot of all counters.
 func (e *Engine) Metrics() Snapshot {
 	live, bytes := e.sessions.stats()
-	return e.met.snapshot(len(e.queue), e.cfg.Workers, e.cache.len(), live, bytes)
+	s := e.met.snapshot(len(e.queue), e.cfg.Workers, e.cache.len(), live, bytes)
+	if e.store != nil {
+		s.Store = &StoreSnapshot{
+			Stats:   e.store.Stats(),
+			Dropped: e.met.storeDropped.Load(),
+		}
+	}
+	return s
 }
 
 // Shutdown stops accepting jobs and drains the pool gracefully: queued
@@ -509,6 +646,16 @@ func (e *Engine) Shutdown(ctx context.Context) error {
 		<-drained
 		err = ctx.Err()
 	}
+	// Workers are gone, so no new write-behinds can arrive: flush what is
+	// queued and close the store so the entry set is durable for the next
+	// process. Guarded for repeated Shutdown calls.
+	e.storeOnce.Do(func() {
+		if e.store != nil {
+			close(e.storeQ)
+			e.storeWG.Wait()
+			e.store.Close()
+		}
+	})
 	e.sessions.closeAll()
 	return err
 }
@@ -641,7 +788,9 @@ func (e *Engine) runJob(job *Job) {
 		res.Attempts = attempt
 		res.Degraded = degraded
 		if res.conclusive() {
-			e.cache.put(job.Req.CacheKey(), res)
+			key := job.Req.CacheKey()
+			e.cache.put(key, res)
+			e.storePutAsync(key, res)
 		}
 		job.finishFromWorker(StateDone, res, nil)
 	case failCanceled:

@@ -9,7 +9,15 @@ import (
 	"time"
 
 	"buffy/internal/smt/sat"
+	"buffy/internal/store"
 )
+
+// StoreSnapshot is the durable disk tier's point-in-time counters plus
+// the engine-side count of write-behinds dropped before reaching it.
+type StoreSnapshot struct {
+	store.Stats
+	Dropped int64 `json:"dropped"`
+}
 
 // latencyBuckets are the cumulative-histogram upper bounds (seconds) for
 // solve latency, chosen to straddle the sub-second interactive regime and
@@ -50,6 +58,11 @@ type metrics struct {
 
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
+
+	// Write-behinds dropped before reaching the durable store (full
+	// write queue or unserializable result); the store's own counters
+	// cover everything that reached it.
+	storeDropped atomic.Int64
 
 	// Warm-session pool telemetry: sweep jobs served by an already-built
 	// session vs. builds, and evictions by reason ("entries": LRU slot
@@ -243,6 +256,10 @@ type Snapshot struct {
 	CacheMisses  int64   `json:"cache_misses"`
 	CacheEntries int     `json:"cache_entries"`
 	CacheHitRate float64 `json:"cache_hit_rate"`
+
+	// Store is the durable disk tier's snapshot (nil when no store is
+	// configured).
+	Store *StoreSnapshot `json:"store,omitempty"`
 
 	SessionsLive     int              `json:"sessions_live"`
 	SessionBytes     int64            `json:"session_bytes"`
@@ -442,6 +459,25 @@ func (s Snapshot) WritePrometheus(w io.Writer) {
 	counter("buffy_cache_misses_total", "Analyses that had to solve.", s.CacheMisses)
 	gauge("buffy_cache_entries", "Results currently cached.", float64(s.CacheEntries))
 	gauge("buffy_cache_hit_rate", "Lifetime cache hit fraction.", s.CacheHitRate)
+
+	if st := s.Store; st != nil {
+		counter("buffy_store_hits_total", "Durable-tier reads that verified and served an entry.", st.Hits)
+		counter("buffy_store_misses_total", "Durable-tier reads that found no servable entry.", st.Misses)
+		counter("buffy_store_writes_total", "Entries written durably (temp + fsync + rename).", st.Writes)
+		counter("buffy_store_write_errors_total", "Durable writes that failed (full disk, read-only store).", st.WriteErrors)
+		counter("buffy_store_read_errors_total", "Durable reads that failed at the I/O layer.", st.ReadErrors)
+		counter("buffy_store_dropped_total", "Write-behinds dropped before reaching the store.", st.Dropped)
+		counter("buffy_store_quarantined_total", "Entries withdrawn to quarantine (torn, bit-rotted, mismatched).", st.Quarantined)
+		counter("buffy_store_evictions_total", "Valid entries deleted by the LRU byte-budget GC.", st.Evictions)
+		counter("buffy_store_invalidations_total", "Wholesale entry-set invalidations (pipeline fingerprint changed).", st.Invalidations)
+		gauge("buffy_store_entries", "Entries resident in the durable tier.", float64(st.Entries))
+		gauge("buffy_store_bytes", "Bytes resident in the durable tier.", float64(st.Bytes))
+		ro := 0.0
+		if st.ReadOnly {
+			ro = 1
+		}
+		gauge("buffy_store_read_only", "1 when the durable tier is degraded to read-only.", ro)
+	}
 
 	gauge("buffy_sessions_live", "Warm solver sessions currently pooled.", float64(s.SessionsLive))
 	gauge("buffy_session_bytes", "Estimated pool memory: encodings plus learnt-clause databases.", float64(s.SessionBytes))

@@ -357,8 +357,11 @@ type Result struct {
 	// raced and which one produced the first conclusive answer.
 	PortfolioSize   int    `json:"portfolio,omitempty"`
 	PortfolioWinner string `json:"portfolio_winner,omitempty"`
-	// CacheHit marks a response served from the result cache.
-	CacheHit bool `json:"cache_hit"`
+	// CacheHit marks a response served from the result cache; CacheTier
+	// says which tier served it (CacheTierMemory or CacheTierDisk —
+	// empty for solved responses).
+	CacheHit  bool   `json:"cache_hit"`
+	CacheTier string `json:"cache_tier,omitempty"`
 	// Tier names the analysis tier that answered: "static" when the
 	// pre-solve analyzer decided the query without a solver, else empty
 	// (SMT tier).
@@ -389,6 +392,15 @@ type SweepVerdict struct {
 	DurationUS int64  `json:"duration_us"`
 	Conflicts  int64  `json:"conflicts"`
 }
+
+// Cache tiers stamped into Result.CacheTier on a hit.
+const (
+	// CacheTierMemory is the in-process LRU.
+	CacheTierMemory = "memory"
+	// CacheTierDisk is the durable result store (the entry is promoted
+	// into the memory tier as it is served).
+	CacheTierDisk = "disk"
+)
 
 // conclusive reports whether the result is a definite answer worth
 // caching; Unknown outcomes (budget exhausted, cancelled) are not.

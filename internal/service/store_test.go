@@ -1,0 +1,214 @@
+package service
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"buffy/internal/store"
+)
+
+// openTestStore opens a store over dir under the given fingerprint with
+// a tight default budget; fp "" means the real pipeline fingerprint.
+func openTestStore(t *testing.T, dir, fp string) *store.Store {
+	t.Helper()
+	if fp == "" {
+		fp = PipelineFingerprint()
+	}
+	s, err := store.Open(store.Options{Dir: dir, Fingerprint: fp, MaxBytes: 64 << 20})
+	if err != nil {
+		t.Fatalf("store.Open: %v", err)
+	}
+	return s
+}
+
+// TestStoreWarmRestart is the tentpole scenario: solve, shut the engine
+// down ("crash" the process politely enough to flush the write-behind),
+// start a fresh engine over the same store directory and observe the
+// same query served from the disk tier without a worker — then from
+// memory, because the disk hit was promoted.
+func TestStoreWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	e1 := New(Config{Workers: 2, Store: openTestStore(t, dir, "")})
+	j, err := e1.Submit(fqWitnessReq(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := waitDone(t, j, 2*time.Minute)
+	if cold.Status != "witness" {
+		t.Fatalf("cold solve status = %s", cold.Status)
+	}
+	shutdown(t, e1) // flushes the write-behind queue and closes the store
+
+	e2 := New(Config{Workers: 2, Store: openTestStore(t, dir, "")})
+	defer shutdown(t, e2)
+	j2, err := e2.Submit(fqWitnessReq(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := waitDone(t, j2, 10*time.Second)
+	if !warm.CacheHit || warm.CacheTier != CacheTierDisk {
+		t.Fatalf("restart replay: cache_hit=%v tier=%q, want a disk hit", warm.CacheHit, warm.CacheTier)
+	}
+	if warm.Status != cold.Status {
+		t.Fatalf("disk tier changed the answer: %s vs %s", warm.Status, cold.Status)
+	}
+	if cold.Trace == nil || warm.Trace == nil || len(warm.Trace.Packets) != len(cold.Trace.Packets) {
+		t.Fatal("disk tier lost the witness trace")
+	}
+	st := e2.Metrics().Store
+	if st == nil || st.Hits != 1 {
+		t.Fatalf("store snapshot = %+v, want 1 disk hit", st)
+	}
+
+	// Third submit: the disk hit was promoted into the memory LRU.
+	j3, err := e2.Submit(fqWitnessReq(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := waitDone(t, j3, 10*time.Second)
+	if !mem.CacheHit || mem.CacheTier != CacheTierMemory {
+		t.Fatalf("post-promotion replay: cache_hit=%v tier=%q, want a memory hit", mem.CacheHit, mem.CacheTier)
+	}
+}
+
+// TestStoreFingerprintInvalidation is the satellite: entries written
+// under one pipeline fingerprint must be misses — quarantined, never
+// served — once the fingerprint changes, and re-solved results must be
+// served by the new generation.
+func TestStoreFingerprintInvalidation(t *testing.T) {
+	dir := t.TempDir()
+	e1 := New(Config{Workers: 2, Store: openTestStore(t, dir, "encoder-v1")})
+	j, err := e1.Submit(fqWitnessReq(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j, 2*time.Minute)
+	shutdown(t, e1)
+
+	// Same directory, bumped fingerprint — as if smtbe.EncodingFingerprint
+	// changed between deployments.
+	e2 := New(Config{Workers: 2, Store: openTestStore(t, dir, "encoder-v2")})
+	defer shutdown(t, e2)
+	j2, err := e2.Submit(fqWitnessReq(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := waitDone(t, j2, 2*time.Minute)
+	if res.CacheHit {
+		t.Fatal("stale entry from the old fingerprint served as a hit")
+	}
+	st := e2.Metrics().Store
+	if st == nil || st.Invalidations != 1 || st.Quarantined == 0 {
+		t.Fatalf("store snapshot = %+v, want 1 invalidation with quarantined entries", st)
+	}
+	// The re-solved result was written back under the new fingerprint.
+	waitStoreWrites(t, e2, 1)
+}
+
+// TestStoreOnlyConclusiveWritten asserts the durable tier never stores
+// an Unknown: a budget-starved solve completes inconclusively and
+// nothing lands on disk.
+func TestStoreOnlyConclusiveWritten(t *testing.T) {
+	dir := t.TempDir()
+	e := New(Config{Workers: 1, Store: openTestStore(t, dir, "")})
+	defer shutdown(t, e)
+
+	req := fqWitnessReq(6)
+	req.MaxConflicts = 1 // starve the solver: Unknown, not an answer
+	j, err := e.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := waitDone(t, j, time.Minute)
+	if res.Status != "unknown" {
+		t.Skipf("expected an unknown under a 1-conflict budget, got %s", res.Status)
+	}
+	// Give the write-behind queue a moment; nothing may arrive.
+	time.Sleep(200 * time.Millisecond)
+	if st := e.Metrics().Store; st == nil || st.Writes != 0 || st.Entries != 0 {
+		t.Fatalf("store snapshot = %+v, want no writes for an inconclusive result", st)
+	}
+}
+
+// TestStoreSweepReplayFromDisk covers the streaming path: a sweep's
+// per-horizon verdicts ride inside the stored Result, so a restart
+// replays the full verdict list from the disk tier.
+func TestStoreSweepReplayFromDisk(t *testing.T) {
+	dir := t.TempDir()
+	e1 := New(Config{Workers: 2, Store: openTestStore(t, dir, "")})
+	j, err := e1.Submit(sweepReq("witness", 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := waitDone(t, j, 2*time.Minute)
+	if len(cold.Verdicts) == 0 {
+		t.Fatalf("cold sweep produced no verdicts (status %s)", cold.Status)
+	}
+	shutdown(t, e1)
+
+	e2 := New(Config{Workers: 2, Store: openTestStore(t, dir, "")})
+	defer shutdown(t, e2)
+	j2, err := e2.Submit(sweepReq("witness", 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := waitDone(t, j2, 10*time.Second)
+	if !warm.CacheHit || warm.CacheTier != CacheTierDisk {
+		t.Fatalf("sweep replay: cache_hit=%v tier=%q, want a disk hit", warm.CacheHit, warm.CacheTier)
+	}
+	if len(warm.Verdicts) != len(cold.Verdicts) {
+		t.Fatalf("disk tier lost sweep verdicts: %d vs %d", len(warm.Verdicts), len(cold.Verdicts))
+	}
+	for i := range warm.Verdicts {
+		if warm.Verdicts[i] != cold.Verdicts[i] {
+			t.Fatalf("verdict %d differs across the disk tier: %+v vs %+v", i, warm.Verdicts[i], cold.Verdicts[i])
+		}
+	}
+}
+
+// TestStoreResultJSONRoundtrip pins the stored wire shape: a Result
+// survives the exact encode/decode the store tier uses, including the
+// trace payload (bump resultSchemaVersion if this ever needs loosening).
+func TestStoreResultJSONRoundtrip(t *testing.T) {
+	e := New(Config{Workers: 2})
+	defer shutdown(t, e)
+	j, err := e.Submit(fqWitnessReq(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := waitDone(t, j, 2*time.Minute)
+
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Result
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back.Status != res.Status || back.Kind != res.Kind {
+		t.Fatalf("roundtrip changed the verdict: %+v vs %+v", back, res)
+	}
+	if !back.conclusive() {
+		t.Fatal("roundtripped result no longer conclusive")
+	}
+	if res.Trace != nil && (back.Trace == nil || len(back.Trace.Packets) != len(res.Trace.Packets)) {
+		t.Fatal("roundtrip lost the trace")
+	}
+}
+
+// waitStoreWrites polls the engine's store snapshot until at least n
+// writes have landed (the write-behind is asynchronous).
+func waitStoreWrites(t *testing.T, e *Engine, n int64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if st := e.Metrics().Store; st != nil && st.Writes >= n {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	st := e.Metrics().Store
+	t.Fatalf("store writes did not reach %d (snapshot %+v)", n, st)
+}

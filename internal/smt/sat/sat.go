@@ -22,6 +22,13 @@ import (
 	"buffy/internal/telemetry"
 )
 
+// Fingerprint names the decision procedure's semantics for the durable
+// result store's pipeline fingerprint. Heuristic changes (restart
+// schedules, branching order) do not require a bump — they cannot change
+// a sat/unsat answer — but a change to propagation, learning, or model
+// reconstruction that could alter an answer or a model must bump it.
+const Fingerprint = "cdcl-v1"
+
 // Status is the outcome of a Solve call.
 type Status int
 

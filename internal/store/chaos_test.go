@@ -1,0 +1,155 @@
+//go:build faultinject
+
+package store
+
+import (
+	"syscall"
+	"testing"
+
+	"buffy/internal/faultinject"
+)
+
+// The chaos contract for the durable tier, at the store layer: any
+// injected filesystem fault — full disk, torn write, bit rot, read
+// error — degrades to a counted write failure or a cache miss. A fault
+// never surfaces as a served-but-wrong payload.
+
+func TestChaosENOSPCWriteFails(t *testing.T) {
+	defer faultReset(t)
+	s := mustOpen(t, Options{Dir: t.TempDir(), Fingerprint: "fp1"})
+	k := key("q")
+
+	arm(t, PointStoreWrite, Fault{Err: syscall.ENOSPC, Times: 1})
+	if err := s.Put(k, []byte(`{"status":"holds"}`)); err == nil {
+		t.Fatal("Put succeeded under ENOSPC")
+	}
+	if _, ok := s.Get(k); ok {
+		t.Fatal("failed write left a servable entry")
+	}
+	st := s.Stats()
+	if st.WriteErrors != 1 || st.Writes != 0 || st.Entries != 0 {
+		t.Fatalf("stats = %+v, want the failed write counted and nothing resident", st)
+	}
+
+	// Fault spent: the same write now lands and serves.
+	mustPut(t, s, k, []byte(`{"status":"holds"}`))
+	if _, ok := s.Get(k); !ok {
+		t.Fatal("store did not recover once ENOSPC cleared")
+	}
+}
+
+func TestChaosEROFSWriteFails(t *testing.T) {
+	defer faultReset(t)
+	s := mustOpen(t, Options{Dir: t.TempDir(), Fingerprint: "fp1"})
+	arm(t, PointStoreWrite, Fault{Err: syscall.EROFS, Times: 1})
+	if err := s.Put(key("q"), []byte("{}")); err == nil {
+		t.Fatal("Put succeeded under EROFS")
+	}
+	if st := s.Stats(); st.WriteErrors != 1 {
+		t.Fatalf("write errors = %d, want 1", st.WriteErrors)
+	}
+}
+
+func TestChaosTornWriteDegradesToMiss(t *testing.T) {
+	defer faultReset(t)
+	dir := t.TempDir()
+	s := mustOpen(t, Options{Dir: dir, Fingerprint: "fp1"})
+	k := key("q")
+
+	// The write is acknowledged but only half the bytes reach the disk —
+	// the worst case the recovery scan and read-path checks exist for.
+	full := len(encodeEntry("fp1", k, []byte(`{"status":"holds"}`)))
+	arm(t, PointStoreCorrupt, Fault{TearAfter: full / 2, Times: 1})
+	mustPut(t, s, k, []byte(`{"status":"holds"}`))
+
+	if _, ok := s.Get(k); ok {
+		t.Fatal("torn entry served")
+	}
+	if st := s.Stats(); st.Quarantined != 1 {
+		t.Fatalf("quarantined = %d, want 1", st.Quarantined)
+	}
+	s.Close()
+
+	// And a restart over the torn store must come up clean and empty.
+	s2 := mustOpen(t, Options{Dir: dir, Fingerprint: "fp1"})
+	if _, ok := s2.Get(k); ok {
+		t.Fatal("torn entry served after restart")
+	}
+}
+
+func TestChaosBitRotDegradesToMiss(t *testing.T) {
+	defer faultReset(t)
+	dir := t.TempDir()
+	s := mustOpen(t, Options{Dir: dir, Fingerprint: "fp1"})
+	k := key("q")
+	payload := []byte(`{"status":"holds"}`)
+
+	// Flip one bit inside the payload region (the tail of the entry).
+	full := len(encodeEntry("fp1", k, payload))
+	arm(t, PointStoreCorrupt, Fault{Flip: true, FlipAt: full - 2, Times: 1})
+	mustPut(t, s, k, payload)
+
+	if _, ok := s.Get(k); ok {
+		t.Fatal("bit-rotted entry served")
+	}
+	if st := s.Stats(); st.Quarantined != 1 {
+		t.Fatalf("quarantined = %d, want 1", st.Quarantined)
+	}
+	if n := quarantineCount(t, dir); n != 1 {
+		t.Fatalf("quarantine dir holds %d files, want 1", n)
+	}
+}
+
+func TestChaosHeaderRotDegradesToMiss(t *testing.T) {
+	defer faultReset(t)
+	s := mustOpen(t, Options{Dir: t.TempDir(), Fingerprint: "fp1"})
+	k := key("q")
+
+	// Flip a bit in the header (the magic): strict parsing must reject it.
+	arm(t, PointStoreCorrupt, Fault{Flip: true, FlipAt: 0, Times: 1})
+	mustPut(t, s, k, []byte(`{"status":"holds"}`))
+	if _, ok := s.Get(k); ok {
+		t.Fatal("header-rotted entry served")
+	}
+}
+
+func TestChaosReadErrorIsMissNotQuarantine(t *testing.T) {
+	defer faultReset(t)
+	s := mustOpen(t, Options{Dir: t.TempDir(), Fingerprint: "fp1"})
+	k := key("q")
+	mustPut(t, s, k, []byte(`{"status":"holds"}`))
+
+	// A transient I/O error says nothing about the entry's integrity:
+	// miss now, serve fine once the fault clears.
+	arm(t, PointStoreRead, Fault{Err: syscall.EIO, Times: 1})
+	if _, ok := s.Get(k); ok {
+		t.Fatal("Get served through an injected read error")
+	}
+	st := s.Stats()
+	if st.ReadErrors != 1 || st.Quarantined != 0 {
+		t.Fatalf("stats = %+v, want 1 read error and no quarantine", st)
+	}
+	if _, ok := s.Get(k); !ok {
+		t.Fatal("intact entry lost after a transient read error")
+	}
+}
+
+func arm(t *testing.T, point string, f Fault) {
+	t.Helper()
+	faultinject.Enable(point, f)
+}
+
+func faultReset(t *testing.T) {
+	t.Helper()
+	faultinject.Reset()
+}
+
+// Aliases so the chaos tests read at the store's level of abstraction
+// while the faults live in the shared harness.
+type Fault = faultinject.Fault
+
+const (
+	PointStoreWrite   = faultinject.PointStoreWrite
+	PointStoreCorrupt = faultinject.PointStoreCorrupt
+	PointStoreRead    = faultinject.PointStoreRead
+)

@@ -1,0 +1,441 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func key(s string) string {
+	sum := sha256.Sum256([]byte(s))
+	return hex.EncodeToString(sum[:])
+}
+
+func mustOpen(t *testing.T, opts Options) *Store {
+	t.Helper()
+	s, err := Open(opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func mustPut(t *testing.T, s *Store, k string, payload []byte) {
+	t.Helper()
+	if err := s.Put(k, payload); err != nil {
+		t.Fatalf("Put(%s): %v", k, err)
+	}
+}
+
+func quarantineCount(t *testing.T, dir string) int {
+	t.Helper()
+	n := 0
+	err := filepath.WalkDir(filepath.Join(dir, "quarantine"), func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			n++
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("walk quarantine: %v", err)
+	}
+	return n
+}
+
+func TestPutGetRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, Options{Dir: dir, Fingerprint: "fp1"})
+	k := key("q1")
+	payload := []byte(`{"status":"holds"}`)
+	mustPut(t, s, k, payload)
+
+	got, ok := s.Get(k)
+	if !ok {
+		t.Fatal("Get missed a just-written entry")
+	}
+	if string(got) != string(payload) {
+		t.Fatalf("payload = %q, want %q", got, payload)
+	}
+	if _, ok := s.Get(key("other")); ok {
+		t.Fatal("Get hit an absent key")
+	}
+	st := s.Stats()
+	if st.Writes != 1 || st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 write / 1 hit / 1 miss / 1 entry", st)
+	}
+	if st.Bytes <= int64(len(payload)) {
+		t.Fatalf("bytes = %d, want payload plus header", st.Bytes)
+	}
+}
+
+func TestRestartRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, Options{Dir: dir, Fingerprint: "fp1"})
+	keys := make([]string, 5)
+	for i := range keys {
+		keys[i] = key(fmt.Sprintf("q%d", i))
+		mustPut(t, s, keys[i], []byte(fmt.Sprintf(`{"i":%d}`, i)))
+	}
+	s.Close()
+
+	// A new Open over the same directory must serve every entry.
+	s2 := mustOpen(t, Options{Dir: dir, Fingerprint: "fp1"})
+	for i, k := range keys {
+		got, ok := s2.Get(k)
+		if !ok {
+			t.Fatalf("entry %d lost across restart", i)
+		}
+		if want := fmt.Sprintf(`{"i":%d}`, i); string(got) != want {
+			t.Fatalf("entry %d payload = %q, want %q", i, got, want)
+		}
+	}
+	if st := s2.Stats(); st.Entries != 5 || st.Quarantined != 0 {
+		t.Fatalf("stats after restart = %+v, want 5 clean entries", st)
+	}
+}
+
+func TestRecoveryQuarantinesCorruptEntries(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, Options{Dir: dir, Fingerprint: "fp1"})
+	good, torn, rotted := key("good"), key("torn"), key("rotted")
+	for _, k := range []string{good, torn, rotted} {
+		mustPut(t, s, k, []byte(`{"ok":true}`))
+	}
+	s.Close()
+
+	// Tear one entry, flip a payload bit in another, and leave a stale
+	// temp file — the recovery scan must quarantine all three casualties
+	// and keep serving the untouched entry.
+	tearFile(t, filepath.Join(dir, "entries", torn))
+	flipLastByte(t, filepath.Join(dir, "entries", rotted))
+	if err := os.WriteFile(filepath.Join(dir, "entries", ".tmp-stale"), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, Options{Dir: dir, Fingerprint: "fp1"})
+	if _, ok := s2.Get(good); !ok {
+		t.Fatal("intact entry lost in recovery")
+	}
+	for _, k := range []string{torn, rotted} {
+		if _, ok := s2.Get(k); ok {
+			t.Fatalf("corrupt entry %s served after recovery", k)
+		}
+	}
+	if st := s2.Stats(); st.Quarantined != 3 {
+		t.Fatalf("quarantined = %d, want 3 (torn + rotted + stale tmp)", st.Quarantined)
+	}
+	if n := quarantineCount(t, dir); n != 3 {
+		t.Fatalf("quarantine dir holds %d files, want 3 — corruption must be preserved, not deleted", n)
+	}
+}
+
+func TestGetQuarantinesBitRot(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, Options{Dir: dir, Fingerprint: "fp1"})
+	k := key("q")
+	mustPut(t, s, k, []byte(`{"status":"holds"}`))
+
+	// Rot the entry underneath a live store: the read-path checksum must
+	// catch it.
+	flipLastByte(t, filepath.Join(dir, "entries", k))
+	if _, ok := s.Get(k); ok {
+		t.Fatal("bit-rotted entry served")
+	}
+	if _, ok := s.Get(k); ok {
+		t.Fatal("quarantined entry served on re-read")
+	}
+	st := s.Stats()
+	if st.Quarantined != 1 {
+		t.Fatalf("quarantined = %d, want 1", st.Quarantined)
+	}
+	if n := quarantineCount(t, dir); n != 1 {
+		t.Fatalf("quarantine dir holds %d files, want 1", n)
+	}
+}
+
+func TestFingerprintInvalidation(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, Options{Dir: dir, Fingerprint: "encoder-v1"})
+	keys := make([]string, 3)
+	for i := range keys {
+		keys[i] = key(fmt.Sprintf("q%d", i))
+		mustPut(t, s, keys[i], []byte(`{"status":"holds"}`))
+	}
+	s.Close()
+
+	// Same directory, bumped fingerprint: every prior entry must be a
+	// miss, and quarantined rather than deleted.
+	s2 := mustOpen(t, Options{Dir: dir, Fingerprint: "encoder-v2"})
+	for _, k := range keys {
+		if _, ok := s2.Get(k); ok {
+			t.Fatal("entry from the old pipeline fingerprint served")
+		}
+	}
+	st := s2.Stats()
+	if st.Invalidations != 1 {
+		t.Fatalf("invalidations = %d, want 1", st.Invalidations)
+	}
+	if st.Quarantined != 3 {
+		t.Fatalf("quarantined = %d, want all 3 superseded entries", st.Quarantined)
+	}
+	if n := quarantineCount(t, dir); n != 3 {
+		t.Fatalf("quarantine dir holds %d files, want 3", n)
+	}
+
+	// New-generation writes serve normally, and survive another restart
+	// under the same fingerprint.
+	mustPut(t, s2, keys[0], []byte(`{"status":"holds","v":2}`))
+	if got, ok := s2.Get(keys[0]); !ok || !strings.Contains(string(got), `"v":2`) {
+		t.Fatalf("new-generation entry not served (ok=%v, got=%q)", ok, got)
+	}
+	s2.Close()
+	s3 := mustOpen(t, Options{Dir: dir, Fingerprint: "encoder-v2"})
+	if _, ok := s3.Get(keys[0]); !ok {
+		t.Fatal("new-generation entry lost across restart")
+	}
+	if st := s3.Stats(); st.Invalidations != 0 {
+		t.Fatalf("matching fingerprint re-open invalidated (%d times)", st.Invalidations)
+	}
+}
+
+func TestEntryKeyMismatchQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, Options{Dir: dir, Fingerprint: "fp1"})
+	a, b := key("a"), key("b")
+	mustPut(t, s, a, []byte(`{"q":"a"}`))
+	s.Close()
+
+	// Copy entry a's bytes under entry b's name: checksum-clean, but the
+	// embedded key no longer matches the filename — the wrong answer for
+	// the content address. Must never be served.
+	data, err := os.ReadFile(filepath.Join(dir, "entries", a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "entries", b), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2 := mustOpen(t, Options{Dir: dir, Fingerprint: "fp1"})
+	if _, ok := s2.Get(b); ok {
+		t.Fatal("entry with mismatched embedded key served")
+	}
+	if _, ok := s2.Get(a); !ok {
+		t.Fatal("legitimate entry lost")
+	}
+	if st := s2.Stats(); st.Quarantined != 1 {
+		t.Fatalf("quarantined = %d, want 1", st.Quarantined)
+	}
+}
+
+func TestGCEnforcesByteBudget(t *testing.T) {
+	dir := t.TempDir()
+	payload := []byte(strings.Repeat("x", 1024))
+	one := len(encodeEntry("fp1", key("probe"), payload))
+	// Budget for ~4 entries; write 10.
+	s := mustOpen(t, Options{Dir: dir, Fingerprint: "fp1", MaxBytes: int64(4 * one)})
+	keys := make([]string, 10)
+	for i := range keys {
+		keys[i] = key(fmt.Sprintf("q%d", i))
+		mustPut(t, s, keys[i], payload)
+	}
+	s.gc() // deterministic: don't wait for the background kick
+
+	st := s.Stats()
+	if st.Bytes > int64(4*one) {
+		t.Fatalf("bytes = %d, over the %d budget after gc", st.Bytes, 4*one)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("no evictions recorded")
+	}
+	// LRU: the newest writes survive, the oldest were evicted.
+	if _, ok := s.Get(keys[9]); !ok {
+		t.Fatal("most recent entry evicted")
+	}
+	if _, ok := s.Get(keys[0]); ok {
+		t.Fatal("oldest entry survived a 4-entry budget")
+	}
+	// Evictions are deletions, not quarantines: the entries were valid.
+	if n := quarantineCount(t, dir); n != 0 {
+		t.Fatalf("eviction quarantined %d files, want 0", n)
+	}
+	if st.Quarantined != 0 {
+		t.Fatalf("quarantined = %d, want 0", st.Quarantined)
+	}
+}
+
+func TestReadOnlyMode(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, Options{Dir: dir, Fingerprint: "fp1"})
+	k := key("q")
+	mustPut(t, s, k, []byte(`{"status":"holds"}`))
+	s.Close()
+
+	s2 := mustOpen(t, Options{Dir: dir, Fingerprint: "fp1", ReadOnly: true})
+	if !s2.ReadOnly() {
+		t.Fatal("store not read-only")
+	}
+	if _, ok := s2.Get(k); !ok {
+		t.Fatal("read-only store must serve verified entries")
+	}
+	if err := s2.Put(key("new"), []byte("{}")); err == nil {
+		t.Fatal("Put succeeded on a read-only store")
+	}
+	if st := s2.Stats(); st.WriteErrors != 1 || !st.ReadOnly {
+		t.Fatalf("stats = %+v, want 1 write error and read_only", st)
+	}
+}
+
+func TestReadOnlyFingerprintMismatchServesNothing(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, Options{Dir: dir, Fingerprint: "fp1"})
+	k := key("q")
+	mustPut(t, s, k, []byte(`{"status":"holds"}`))
+	s.Close()
+
+	// Read-only + wrong fingerprint: the store can neither serve the old
+	// entries nor invalidate them — it must serve nothing.
+	s2 := mustOpen(t, Options{Dir: dir, Fingerprint: "fp2", ReadOnly: true})
+	if _, ok := s2.Get(k); ok {
+		t.Fatal("mismatched-fingerprint entry served from read-only store")
+	}
+	if st := s2.Stats(); st.Invalidations != 1 {
+		t.Fatalf("invalidations = %d, want 1", st.Invalidations)
+	}
+	// And the old entries must still be on disk, untouched.
+	if _, err := os.Stat(filepath.Join(dir, "entries", k)); err != nil {
+		t.Fatalf("read-only invalidation touched the disk: %v", err)
+	}
+}
+
+func TestInvalidKeysRejected(t *testing.T) {
+	s := mustOpen(t, Options{Dir: t.TempDir(), Fingerprint: "fp1"})
+	for _, k := range []string{"", ".hidden", "../escape", "a/b", "a b", strings.Repeat("k", 300)} {
+		if err := s.Put(k, []byte("{}")); err == nil {
+			t.Fatalf("Put accepted invalid key %q", k)
+		}
+		if _, ok := s.Get(k); ok {
+			t.Fatalf("Get hit invalid key %q", k)
+		}
+	}
+}
+
+func TestOversizedEntryRejected(t *testing.T) {
+	s := mustOpen(t, Options{Dir: t.TempDir(), Fingerprint: "fp1", MaxBytes: 128})
+	if err := s.Put(key("big"), []byte(strings.Repeat("x", 4096))); err == nil {
+		t.Fatal("Put accepted an entry larger than the whole store budget")
+	}
+	if st := s.Stats(); st.WriteErrors != 1 || st.Entries != 0 {
+		t.Fatalf("stats = %+v, want 1 write error, 0 entries", st)
+	}
+}
+
+func TestLRURecencySurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, Options{Dir: dir, Fingerprint: "fp1"})
+	old, fresh := key("old"), key("fresh")
+	mustPut(t, s, old, []byte(`{"a":1}`))
+	mustPut(t, s, fresh, []byte(`{"b":2}`))
+	// Backdate the old entry well past any mtime granularity, then touch
+	// it via Get so its recency is restored before the restart.
+	past := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(filepath.Join(dir, "entries", old), past, past); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(old); !ok {
+		t.Fatal("Get(old) missed")
+	}
+	s.Close()
+
+	// After restart the Get-refreshed mtime orders "old" as most recent;
+	// with a one-entry budget the GC must evict "fresh", not "old".
+	one := int64(len(encodeEntry("fp1", old, []byte(`{"a":1}`))))
+	s2 := mustOpen(t, Options{Dir: dir, Fingerprint: "fp1", MaxBytes: one})
+	s2.gc()
+	if _, ok := s2.Get(old); !ok {
+		t.Fatal("recently-used entry evicted: LRU recency lost across restart")
+	}
+	if _, ok := s2.Get(fresh); ok {
+		t.Fatal("least-recently-used entry survived a one-entry budget")
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	s := mustOpen(t, Options{Dir: t.TempDir(), Fingerprint: "fp1"})
+	s.Close()
+	s.Close() // second Close must not panic or hang
+}
+
+func TestDecodeEntryRejectsEveryCorruption(t *testing.T) {
+	fp, k := "fp1", key("q")
+	good := encodeEntry(fp, k, []byte(`{"status":"holds"}`))
+	if _, err := decodeEntry(good, fp, k); err != nil {
+		t.Fatalf("clean entry rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+		reason string
+	}{
+		{"empty", func(b []byte) []byte { return nil }, "format"},
+		{"bad magic", func(b []byte) []byte { b[0] ^= 0xFF; return b }, "format"},
+		{"bad version", func(b []byte) []byte { b[4] ^= 0xFF; return b }, "format"},
+		{"truncated header", func(b []byte) []byte { return b[:10] }, "torn"},
+		{"truncated payload", func(b []byte) []byte { return b[:len(b)-3] }, "torn"},
+		{"payload bit rot", func(b []byte) []byte { b[len(b)-1] ^= 0x01; return b }, "checksum"},
+		{"checksum bit rot", func(b []byte) []byte { b[len(b)-20] ^= 0x01; return b }, "checksum"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			buf := tc.mutate(append([]byte(nil), good...))
+			_, err := decodeEntry(buf, fp, k)
+			if err == nil {
+				t.Fatal("corrupt entry decoded")
+			}
+			if got := reasonOf(err); got != tc.reason {
+				t.Fatalf("reason = %q, want %q (err: %v)", got, tc.reason, err)
+			}
+		})
+	}
+	if _, err := decodeEntry(good, "fp2", k); reasonOf(err) != "fingerprint" {
+		t.Fatalf("fingerprint mismatch reason = %q, want fingerprint", reasonOf(err))
+	}
+	if _, err := decodeEntry(good, fp, key("other")); reasonOf(err) != "key" {
+		t.Fatalf("key mismatch reason = %q, want key", reasonOf(err))
+	}
+}
+
+// tearFile truncates a file to half its size: an acknowledged write that
+// only partially reached the disk.
+func tearFile(t *testing.T, path string) {
+	t.Helper()
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, info.Size()/2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// flipLastByte XORs one bit of a file's final byte (inside the payload):
+// silent bit rot.
+func flipLastByte(t *testing.T, path string) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -19,6 +19,12 @@ import (
 	"buffy/internal/lang/typecheck"
 )
 
+// Fingerprint names the static-analysis semantics (parse, typecheck,
+// sema interval analysis) for the durable result store's pipeline
+// fingerprint. Bump it when a sema change could alter a static verdict
+// or diagnostic that feeds an analysis answer.
+const Fingerprint = "sema-intervals-v1"
+
 // Result is the outcome of vetting one program.
 type Result struct {
 	// Program is the program's declared name ("" when parsing failed
