@@ -18,6 +18,7 @@
 //	buffy-bench -exp vet      # extension: static-tier latency vs solver time saved
 //	buffy-bench -exp sweep    # extension: warm-session sweep vs cold per-horizon
 //	buffy-bench -exp store    # extension: durable store, disk-hit vs cold across restart
+//	buffy-bench -exp trajectory # extension: perf-gate probes -> BENCH_trajectory.json
 //	buffy-bench -exp all
 package main
 
@@ -47,10 +48,11 @@ var experiments = []struct {
 	{"vet", "extension — static tier latency (µs) vs solver time saved", runVetExp},
 	{"sweep", "extension — warm-session sweep vs cold per-horizon solves", runSweepExp},
 	{"store", "extension — durable result store: disk-hit vs cold-solve across a restart", runStoreExp},
+	{"trajectory", "extension — benchmark trajectory: median/IQR probes + work counters for buffy-benchdiff", runTrajectory},
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (table1 fig6 cs1 cs1b cs2 a1 a2 a3 a4 portfolio stages netcalc vet sweep store all)")
+	exp := flag.String("exp", "all", "experiment id (table1 fig6 cs1 cs1b cs2 a1 a2 a3 a4 portfolio stages netcalc vet sweep store trajectory all)")
 	flag.Parse()
 	ran := false
 	for _, e := range experiments {

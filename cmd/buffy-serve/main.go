@@ -35,6 +35,7 @@ import (
 
 	"buffy/internal/service"
 	"buffy/internal/store"
+	"buffy/internal/telemetry"
 )
 
 // validateSizing rejects zero/negative pool and store sizes at startup
@@ -53,6 +54,18 @@ func validateSizing(sessions int, sessionBytes, storeBytes int64) error {
 	return nil
 }
 
+// validateExport rejects malformed OTLP endpoints at startup, same
+// fail-fast discipline as validateSizing: a typo'd collector URL should
+// refuse to boot, not silently drop every trace batch at runtime. (The
+// spool dir is validated by telemetry.NewExporter, which probes it by
+// creating the spool file.)
+func validateExport(endpoint string) error {
+	if endpoint == "" {
+		return nil
+	}
+	return telemetry.ValidateEndpoint(endpoint)
+}
+
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 0, "solver worker pool size (default GOMAXPROCS)")
@@ -68,6 +81,8 @@ func main() {
 	storeBytes := flag.Int64("store-bytes", 1<<30, "durable result store byte budget, LRU-evicted beyond it (must be positive)")
 	traceSpans := flag.Int("trace-spans", 0, "max spans per job trace (0 default, <0 disables tracing)")
 	traceKeep := flag.Int("trace-retention", 128, "finished traces kept for /v1/traces")
+	otlpEndpoint := flag.String("otlp-endpoint", "", "OTLP/HTTP traces URL to push finished job traces to, e.g. http://localhost:4318/v1/traces (empty disables)")
+	traceDir := flag.String("trace-dir", "", "directory for OTLP-shaped NDJSON trace spool files (empty disables)")
 	logFormat := flag.String("log-format", "text", "log output format: text or json")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty disables)")
@@ -82,11 +97,35 @@ func main() {
 		fmt.Fprintf(os.Stderr, "buffy-serve: %v\n", err)
 		os.Exit(2)
 	}
+	if err := validateExport(*otlpEndpoint); err != nil {
+		fmt.Fprintf(os.Stderr, "buffy-serve: %v\n", err)
+		os.Exit(2)
+	}
 
 	logger, err := newLogger(*logFormat, *logLevel)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "buffy-serve: %v\n", err)
 		os.Exit(2)
+	}
+
+	var exporter *telemetry.Exporter
+	if *otlpEndpoint != "" || *traceDir != "" {
+		exporter, err = telemetry.NewExporter(telemetry.ExportOptions{
+			Endpoint: *otlpEndpoint,
+			Dir:      *traceDir,
+			Resource: []telemetry.Attr{
+				telemetry.String("service.name", "buffy-serve"),
+				telemetry.String("service.version", service.Version),
+			},
+			OnError: func(err error) { logger.Warn("trace export", "err", err.Error()) },
+		})
+		if err != nil {
+			// Same deployment-error stance as a bad store dir: an unwritable
+			// spool dir fails startup instead of dropping every batch later.
+			fmt.Fprintf(os.Stderr, "buffy-serve: %v\n", err)
+			os.Exit(2)
+		}
+		logger.Info("trace export enabled", "otlp_endpoint", *otlpEndpoint, "trace_dir", *traceDir)
 	}
 
 	var resultStore *store.Store
@@ -120,6 +159,7 @@ func main() {
 		SessionEntries:  *sessions,
 		SessionMaxBytes: *sessionBytes,
 		Store:           resultStore,
+		Exporter:        exporter,
 	})
 	handler := service.WithRequestLogging(logger, service.NewHandler(engine))
 	server := &http.Server{Addr: *addr, Handler: handler}
@@ -175,6 +215,9 @@ func main() {
 	if err := server.Shutdown(flushCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		logger.Warn("connection flush failed", "err", err.Error())
 	}
+	// Workers are drained, so no new traces can arrive: flush whatever the
+	// export queue still holds and close the spool.
+	exporter.Close()
 	logger.Info("bye")
 }
 

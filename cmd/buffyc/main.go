@@ -24,6 +24,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -36,6 +37,7 @@ import (
 	"buffy/internal/lang/sema"
 	"buffy/internal/portfolio"
 	"buffy/internal/session"
+	"buffy/internal/smt/sat"
 	"buffy/internal/telemetry"
 	"buffy/internal/workload"
 )
@@ -73,6 +75,8 @@ func main() {
 	planOut := flag.String("trace-out", "", "save the discovered trace as a replayable arrival plan (JSON)")
 	stats := flag.Bool("stats", false, "print solver effort statistics (conflicts, decisions, propagations)")
 	showTrace := flag.Bool("trace", false, "record a span trace of the analysis pipeline and print the tree (parse, compile, bitblast, search)")
+	traceJSON := flag.Bool("trace-json", false, "record a span trace and print it as OTLP-shaped JSON (the exporter's wire format) instead of the tree")
+	explain := flag.Bool("explain", false, "record solver search introspection and render the report: effort timelines, restart/simplify marks, depth/LBD histograms, per-config breakdown")
 	nPortfolio := flag.Int("portfolio", 0, "race N diversified solver configs, first conclusive answer wins (verify/witness; 0 = single solver)")
 	maxConflicts := flag.Int64("max-conflicts", 0, "per-solve conflict budget (0 = unlimited; exhaustion reports unknown)")
 	maxProps := flag.Int64("max-propagations", 0, "per-solve propagation budget, a CPU-effort proxy (0 = unlimited)")
@@ -121,12 +125,23 @@ func main() {
 	}
 
 	// With -trace, every pipeline layer records spans into tr; the tree is
-	// printed after the analysis (see printTrace).
+	// printed after the analysis (see printTrace). -trace-json records the
+	// same spans but prints the exporter's OTLP JSON instead.
 	ctx := context.Background()
 	var tr *telemetry.Trace
-	if *showTrace {
+	if *showTrace || *traceJSON {
 		tr = telemetry.NewTraceN(flag.Arg(0), 4096)
 		ctx = telemetry.WithTrace(ctx, tr)
+	}
+
+	// With -explain, a SearchRecorder rides the progress feed; the report
+	// is rendered after the analysis (see printExplain).
+	var rec *sat.SearchRecorder
+	var progress *sat.Progress
+	if *explain {
+		progress = &sat.Progress{}
+		rec = sat.NewSearchRecorder()
+		progress.SetRecorder(rec)
 	}
 
 	_, psp := telemetry.StartSpan(ctx, "parse")
@@ -144,13 +159,14 @@ func main() {
 		ArrivalsPerStep: *arrivals, BufferCap: *cap,
 		Portfolio:    *nPortfolio,
 		MaxConflicts: *maxConflicts, MaxPropagations: *maxProps, MaxLearntBytes: *maxLearnt,
+		Progress: progress,
 	}
 
 	switch *mode {
 	case "verify":
 		if a.Portfolio > 1 {
-			runPortfolio(ctx, prog, a, false, *stats, *planOut)
-			printTrace(tr)
+			runPortfolio(ctx, prog, a, false, *stats, *planOut, rec)
+			printTrace(tr, *traceJSON)
 			return
 		}
 		res, err := prog.VerifyContext(ctx, a)
@@ -166,8 +182,8 @@ func main() {
 		}
 	case "witness":
 		if a.Portfolio > 1 {
-			runPortfolio(ctx, prog, a, true, *stats, *planOut)
-			printTrace(tr)
+			runPortfolio(ctx, prog, a, true, *stats, *planOut, rec)
+			printTrace(tr, *traceJSON)
 			return
 		}
 		res, err := prog.FindWitnessContext(ctx, a)
@@ -266,16 +282,48 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown mode %q", *mode))
 	}
-	printTrace(tr)
+	printExplain(rec, "")
+	printTrace(tr, *traceJSON)
 }
 
 // printTrace renders the recorded span tree after the analysis output (a
-// no-op without -trace).
-func printTrace(tr *telemetry.Trace) {
+// no-op without -trace/-trace-json). With asJSON it prints the exporter's
+// OTLP wire format instead, so `buffyc -trace-json | jq` shows exactly
+// what buffy-serve -otlp-endpoint would push to a collector.
+func printTrace(tr *telemetry.Trace, asJSON bool) {
 	if tr == nil {
 		return
 	}
-	fmt.Print(tr.Snapshot().Render())
+	snap := tr.Snapshot()
+	if asJSON {
+		req := telemetry.OTLPExportRequest{ResourceSpans: []telemetry.OTLPResourceSpans{
+			telemetry.OTLPFromView(snap, telemetry.String("service.name", "buffyc")),
+		}}
+		data, err := json.MarshalIndent(req, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(data))
+		return
+	}
+	fmt.Print(snap.Render())
+}
+
+// printExplain renders the -explain search report after the analysis
+// output (a no-op without -explain or when no solver ran). winner names
+// the portfolio config that produced the answer, "" outside a race.
+func printExplain(rec *sat.SearchRecorder, winner string) {
+	rep := rec.Report()
+	if rep == nil || rep.Totals.Solves == 0 {
+		return
+	}
+	rep.Winner = winner
+	for i := range rep.Configs {
+		if rep.Configs[i].Name != "" && rep.Configs[i].Name == winner {
+			rep.Configs[i].Winner = true
+		}
+	}
+	fmt.Print(rep.Render())
 }
 
 func missingParams(p *core.Program, have map[string]int64) []string {
@@ -330,7 +378,7 @@ func runSweep(ctx context.Context, prog *core.Program, a core.Analysis, maxT int
 // runPortfolio races -portfolio diversified solver configurations on a
 // verify or witness query, reporting the winning configuration and each
 // config's search effort before rendering the winner's trace as usual.
-func runPortfolio(ctx context.Context, prog *core.Program, a core.Analysis, witness, stats bool, planOut string) {
+func runPortfolio(ctx context.Context, prog *core.Program, a core.Analysis, witness, stats bool, planOut string, rec *sat.SearchRecorder) {
 	var pr *portfolio.Result
 	var err error
 	if witness {
@@ -358,6 +406,7 @@ func runPortfolio(ctx context.Context, prog *core.Program, a core.Analysis, witn
 		}
 		fmt.Println()
 	}
+	printExplain(rec, pr.Winner)
 	printStats(stats, pr.Result)
 	if pr.Trace != nil {
 		fmt.Print(pr.Trace)

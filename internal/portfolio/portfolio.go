@@ -231,5 +231,10 @@ func runOne(ctx context.Context, enc *smtbe.Encoded, cfg Config) (res *smtbe.Res
 			res, err = nil, fmt.Errorf("portfolio: config %s panicked: %v", cfg.Name, r)
 		}
 	}()
-	return solveFn(ctx, enc, cfg.Search)
+	// Stamp the portfolio label onto the search options so telemetry
+	// (SearchReport per-config breakdowns) can attribute effort. Name is
+	// not a heuristic; this cannot change the search.
+	search := cfg.Search
+	search.Name = cfg.Name
+	return solveFn(ctx, enc, search)
 }

@@ -69,6 +69,10 @@ type Job struct {
 	// internally synchronized). Cache-hit jobs carry neither.
 	trace    *telemetry.Trace
 	progress *sat.Progress
+	// recorder accumulates the progress feed into a SearchReport
+	// (attached to the result, served by /v1/jobs/{id}/explain). Rides
+	// on progress, so cache-hit jobs carry none.
+	recorder *sat.SearchRecorder
 
 	// verdicts streams a sweep job's per-horizon answers to a listening
 	// handler. Buffered for the deepest possible sweep so the worker never
@@ -92,6 +96,10 @@ func (j *Job) Trace() *telemetry.Trace { return j.trace }
 // Progress returns the job's live solver-effort counters (nil for
 // cache-hit jobs). Safe to poll while the job runs.
 func (j *Job) Progress() *sat.Progress { return j.progress }
+
+// SearchRecorder returns the job's search-introspection recorder (nil
+// for cache-hit jobs). Safe to Report() while the job runs.
+func (j *Job) SearchRecorder() *sat.SearchRecorder { return j.recorder }
 
 // Verdicts returns the sweep job's per-horizon verdict stream (nil for
 // non-sweep and cache-hit jobs). The worker closes it when the sweep
@@ -254,6 +262,11 @@ type Config struct {
 	// on Shutdown. Open it under service.PipelineFingerprint() so a
 	// pipeline change invalidates stored answers.
 	Store *store.Store
+	// Exporter, when non-nil, receives every finished job's trace
+	// snapshot for OTLP export. The engine only enqueues (never blocks);
+	// the caller that built the exporter owns its lifecycle and closes
+	// it after Shutdown drains the workers.
+	Exporter *telemetry.Exporter
 }
 
 func (c Config) withDefaults() Config {
@@ -457,7 +470,7 @@ func (e *Engine) serveCachedLocked(req *Request, cached *Result, tier string) *J
 	// A cache hit never runs the pipeline: no spans to record, no
 	// live progress to poll, no verdicts to stream (they ride in the
 	// cached result).
-	job.trace, job.progress, job.verdicts = nil, nil, nil
+	job.trace, job.progress, job.recorder, job.verdicts = nil, nil, nil, nil
 	// Shallow copy: the trace/workload payload is shared (immutable),
 	// only the per-response CacheHit/CacheTier stamps differ.
 	res := *cached
@@ -558,6 +571,8 @@ func (e *Engine) newJobLocked(req *Request) *Job {
 	if e.cfg.TraceSpans > 0 {
 		job.trace = telemetry.NewTraceN(job.ID, e.cfg.TraceSpans)
 		job.progress = &sat.Progress{}
+		job.recorder = sat.NewSearchRecorder()
+		job.progress.SetRecorder(job.recorder)
 	}
 	if req.Kind == KindSweep {
 		job.verdicts = make(chan SweepVerdict, MaxHorizon+1)
@@ -616,6 +631,10 @@ func (e *Engine) Metrics() Snapshot {
 			Stats:   e.store.Stats(),
 			Dropped: e.met.storeDropped.Load(),
 		}
+	}
+	if e.cfg.Exporter != nil {
+		ex := e.cfg.Exporter.Stats()
+		s.TraceExport = &ex
 	}
 	return s
 }
@@ -787,6 +806,20 @@ func (e *Engine) runJob(job *Job) {
 		}
 		res.Attempts = attempt
 		res.Degraded = degraded
+		if rep := job.recorder.Report(); rep != nil && rep.Totals.Solves > 0 {
+			// Attach the search introspection record to the result (and
+			// therefore to both cache tiers: explain works on cache hits
+			// too). Static-tier and netcalc answers never ran a solver, so
+			// they carry no report. The winner is known only here, where
+			// the portfolio outcome is.
+			rep.Winner = res.PortfolioWinner
+			for i := range rep.Configs {
+				if rep.Configs[i].Name != "" && rep.Configs[i].Name == rep.Winner {
+					rep.Configs[i].Winner = true
+				}
+			}
+			res.Search = rep
+		}
 		if res.conclusive() {
 			key := job.Req.CacheKey()
 			e.cache.put(key, res)
@@ -812,6 +845,11 @@ func (e *Engine) runJob(job *Job) {
 		// for /v1/traces (the Job itself is pruned by retention earlier).
 		e.met.recordStages(job.trace.Durations())
 		snap := job.trace.Snapshot()
+		if snap.Dropped > 0 {
+			// Span truncation is invisible in the tree itself; count it so
+			// an undersized -trace-spans shows up on /metrics.
+			e.met.traceSpansDropped.Add(int64(snap.Dropped))
+		}
 		e.traces.add(TraceSummary{
 			JobID:      job.ID,
 			Kind:       string(job.Req.Kind),
@@ -820,6 +858,12 @@ func (e *Engine) runJob(job *Job) {
 			DurationMS: elapsed.Milliseconds(),
 			NumSpans:   snap.NumSpans,
 		}, job.trace)
+		// Ship the finished trace to the OTLP exporter (if configured).
+		// Enqueue never blocks: a slow or down collector costs dropped
+		// snapshots, never solver latency.
+		e.cfg.Exporter.Enqueue(snap,
+			telemetry.String("buffy.job_kind", string(job.Req.Kind)),
+			telemetry.String("buffy.job_state", string(job.State())))
 	}
 	switch st := job.State(); st {
 	case StateDone:

@@ -1,0 +1,140 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"buffy/internal/telemetry"
+)
+
+// TestEngineExportsJobTraces is the acceptance scenario for the export
+// layer: a real verify job runs through the engine and the stub
+// collector receives well-formed OTLP ResourceSpans for it, carrying
+// the job-level resource attributes the engine stamps at the trace tail.
+func TestEngineExportsJobTraces(t *testing.T) {
+	type push struct {
+		rss []telemetry.OTLPResourceSpans
+	}
+	got := make(chan push, 16)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req telemetry.OTLPExportRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			t.Errorf("collector received undecodable body: %v", err)
+		}
+		got <- push{rss: req.ResourceSpans}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+
+	exp, err := telemetry.NewExporter(telemetry.ExportOptions{
+		Endpoint:      srv.URL,
+		FlushInterval: 50 * time.Millisecond,
+		Resource:      []telemetry.Attr{telemetry.String("service.name", "buffy-serve")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(Config{Workers: 1, Exporter: exp})
+
+	job, err := e.Submit(fqWitnessReq(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := waitDone(t, job, 2*time.Minute)
+	if res.Status != "witness" {
+		t.Fatalf("status = %s, want witness", res.Status)
+	}
+	shutdown(t, e)
+	exp.Close()
+
+	var rss []telemetry.OTLPResourceSpans
+	select {
+	case p := <-got:
+		rss = p.rss
+	default:
+		t.Fatal("collector received nothing for a finished job")
+	}
+	if len(rss) != 1 {
+		t.Fatalf("collector received %d ResourceSpans, want 1", len(rss))
+	}
+	attrs := map[string]string{}
+	for _, kv := range rss[0].Resource.Attributes {
+		if kv.Value.StringValue != nil {
+			attrs[kv.Key] = *kv.Value.StringValue
+		}
+	}
+	if attrs["service.name"] != "buffy-serve" {
+		t.Errorf("resource service.name = %q", attrs["service.name"])
+	}
+	if attrs["buffy.job_kind"] != "witness" {
+		t.Errorf("resource buffy.job_kind = %q, want witness", attrs["buffy.job_kind"])
+	}
+	if attrs["buffy.job_state"] == "" {
+		t.Error("resource missing buffy.job_state")
+	}
+	spans := rss[0].ScopeSpans[0].Spans
+	if len(spans) < 2 {
+		t.Fatalf("job trace exported only %d spans", len(spans))
+	}
+	names := map[string]bool{}
+	for _, sp := range spans {
+		names[sp.Name] = true
+		if len(sp.TraceID) != 32 || len(sp.SpanID) != 16 {
+			t.Errorf("span %s: malformed ids %q/%q", sp.Name, sp.TraceID, sp.SpanID)
+		}
+		if sp.TraceID != spans[0].TraceID {
+			t.Errorf("span %s: trace id differs within one job", sp.Name)
+		}
+	}
+	if !names["job"] {
+		t.Errorf("exported spans %v missing the root job span", names)
+	}
+
+	// The engine's metrics snapshot surfaces the exporter's counters.
+	m := e.Metrics()
+	if m.TraceExport == nil || m.TraceExport.Traces == 0 || m.TraceExport.Pushed == 0 {
+		t.Errorf("metrics trace_export = %+v, want >=1 trace pushed", m.TraceExport)
+	}
+}
+
+// TestEngineExportEndpointDownNeverFailsSolves pins non-interference:
+// with the collector unreachable, jobs must still complete normally and
+// promptly — export failures are counted, never propagated.
+func TestEngineExportEndpointDownNeverFailsSolves(t *testing.T) {
+	exp, err := telemetry.NewExporter(telemetry.ExportOptions{
+		Endpoint:     "http://127.0.0.1:1/v1/traces", // reserved port: refused
+		QueueSize:    2,
+		Retries:      1,
+		RetryBackoff: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(Config{Workers: 2, Exporter: exp})
+	defer func() { shutdown(t, e); exp.Close() }()
+
+	var jobs []*Job
+	for _, tt := range []int{5, 6, 7} {
+		j, err := e.Submit(fqWitnessReq(tt))
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	for _, j := range jobs {
+		res := waitDone(t, j, 2*time.Minute)
+		if res.Status != "witness" {
+			t.Fatalf("job %s: status = %s with the collector down, want witness", j.ID, res.Status)
+		}
+		if res.Search == nil {
+			t.Errorf("job %s lost its search report when export failed", j.ID)
+		}
+	}
+	// The failure is visible in metrics, not in results.
+	if st := exp.Stats(); st.Traces == 0 {
+		t.Errorf("exporter saw no traces: %+v", st)
+	}
+}

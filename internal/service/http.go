@@ -28,6 +28,7 @@ const maxRequestBody = 4 << 20
 //	GET  /v1/jobs/{id}          poll a job
 //	GET  /v1/jobs/{id}/trace    the job's span tree (live or finished)
 //	GET  /v1/jobs/{id}/progress live solver-effort counters while it runs
+//	GET  /v1/jobs/{id}/explain  solver search introspection (SearchReport)
 //	GET  /v1/traces             recent finished traces, newest first
 //	GET  /v1/version            build version, Go version, uptime
 //	GET  /healthz               readiness (alias of /healthz/ready)
@@ -78,6 +79,47 @@ func NewHandler(e *Engine) http.Handler {
 			return
 		}
 		writeError(w, http.StatusNotFound, fmt.Errorf("no such job %q", id))
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/explain", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		job, ok := e.Job(id)
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("no such job %q", id))
+			return
+		}
+		// Live (or just-finished) jobs build the report from their
+		// recorder; cache-hit jobs have no recorder but carry the original
+		// solve's report inside the cached result.
+		if rec := job.SearchRecorder(); rec != nil {
+			rep := rec.Report()
+			if res, _ := job.Result(); res != nil {
+				// Terminal job: prefer the result's attached report — it
+				// carries the winner annotation (and is byte-identical to
+				// what the cache tiers serve).
+				if res.Search != nil {
+					rep = res.Search
+				}
+			}
+			if rep.Totals.Solves == 0 {
+				writeError(w, http.StatusNotFound, fmt.Errorf("job %q ran no solver (static tier, netcalc, or not started)", id))
+				return
+			}
+			writeJSON(w, http.StatusOK, map[string]any{
+				"id":     job.ID,
+				"state":  job.State(),
+				"search": rep,
+			})
+			return
+		}
+		if res, _ := job.Result(); res != nil && res.Search != nil {
+			writeJSON(w, http.StatusOK, map[string]any{
+				"id":     job.ID,
+				"state":  job.State(),
+				"search": res.Search,
+			})
+			return
+		}
+		writeError(w, http.StatusNotFound, fmt.Errorf("job %q has no search report (cache hit without one, static tier, or tracing disabled)", id))
 	})
 	mux.HandleFunc("GET /v1/jobs/{id}/progress", func(w http.ResponseWriter, r *http.Request) {
 		id := r.PathValue("id")

@@ -10,6 +10,7 @@ import (
 
 	"buffy/internal/smt/sat"
 	"buffy/internal/store"
+	"buffy/internal/telemetry"
 )
 
 // StoreSnapshot is the durable disk tier's point-in-time counters plus
@@ -63,6 +64,11 @@ type metrics struct {
 	// write queue or unserializable result); the store's own counters
 	// cover everything that reached it.
 	storeDropped atomic.Int64
+
+	// Spans lost to per-trace caps across all finished jobs: nonzero
+	// means -trace-spans is undersized for the workload and trace trees
+	// are silently incomplete.
+	traceSpansDropped atomic.Int64
 
 	// Warm-session pool telemetry: sweep jobs served by an already-built
 	// session vs. builds, and evictions by reason ("entries": LRU slot
@@ -261,6 +267,12 @@ type Snapshot struct {
 	// configured).
 	Store *StoreSnapshot `json:"store,omitempty"`
 
+	// TraceSpansDropped counts spans lost to per-trace caps; TraceExport
+	// is the OTLP exporter's snapshot (nil when export is not
+	// configured).
+	TraceSpansDropped int64                  `json:"trace_spans_dropped"`
+	TraceExport       *telemetry.ExportStats `json:"trace_export,omitempty"`
+
 	SessionsLive     int              `json:"sessions_live"`
 	SessionBytes     int64            `json:"session_bytes"`
 	SessionHits      int64            `json:"session_hits"`
@@ -328,6 +340,8 @@ func (m *metrics) snapshot(queueDepth, workers, cacheEntries, sessionsLive int, 
 		SatDecisions:    m.satDecisions.Load(),
 		SatPropagations: m.satPropagations.Load(),
 		SatRestarts:     m.satRestarts.Load(),
+
+		TraceSpansDropped: m.traceSpansDropped.Load(),
 
 		SolveBuckets: make(map[string]int64, len(latencyBuckets)),
 	}
@@ -485,6 +499,17 @@ func (s Snapshot) WritePrometheus(w io.Writer) {
 	counter("buffy_session_misses_total", "Sweeps that built a new session.", s.SessionMisses)
 	labeled("buffy_session_evictions_total", "Pool evictions by reason (entries: LRU slots, memory: byte budget).",
 		"reason", s.SessionEvictions)
+
+	counter("buffy_trace_spans_dropped_total", "Spans lost to per-trace caps (undersized -trace-spans).", s.TraceSpansDropped)
+	if ex := s.TraceExport; ex != nil {
+		counter("buffy_trace_export_traces_total", "Trace snapshots accepted for OTLP export.", ex.Traces)
+		counter("buffy_trace_export_dropped_total", "Trace snapshots dropped: export queue full.", ex.Dropped)
+		counter("buffy_trace_export_pushed_total", "OTLP batches pushed to the collector.", ex.Pushed)
+		counter("buffy_trace_export_push_retries_total", "OTLP push attempts retried (transient failures).", ex.PushRetries)
+		counter("buffy_trace_export_push_failed_total", "OTLP batches abandoned after retries or on 4xx.", ex.PushFailed)
+		counter("buffy_trace_export_spooled_total", "ResourceSpans lines written to the NDJSON spool.", ex.Spooled)
+		counter("buffy_trace_export_spool_errors_total", "Spool write/marshal failures.", ex.SpoolErrors)
+	}
 
 	counter("buffy_sat_conflicts_total", "Cumulative CDCL conflicts.", s.SatConflicts)
 	counter("buffy_sat_decisions_total", "Cumulative CDCL decisions.", s.SatDecisions)

@@ -382,6 +382,13 @@ type Result struct {
 	FoundAt    int            `json:"found_at,omitempty"`
 	Warm       bool           `json:"warm,omitempty"`
 	SessionHit bool           `json:"session_hit,omitempty"`
+	// Search is the solver introspection record (timeline samples,
+	// restart/simplify marks, depth/LBD distributions, per-portfolio-
+	// config effort): the payload behind /v1/jobs/{id}/explain and
+	// buffyc -explain. Only present when a solver actually ran — static-
+	// tier and netcalc answers carry none. Rides the result through both
+	// cache tiers, so explain works on cache hits.
+	Search *sat.SearchReport `json:"search_report,omitempty"`
 }
 
 // SweepVerdict is the wire form of one horizon's answer within a sweep.

@@ -10,7 +10,7 @@ import (
 
 // Version identifies the service build. It is a variable (not a const) so
 // release builds can stamp it via -ldflags "-X buffy/internal/service.Version=...".
-var Version = "0.5.0-dev"
+var Version = "0.6.0-dev"
 
 // VersionInfo is the /v1/version payload.
 type VersionInfo struct {

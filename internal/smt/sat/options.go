@@ -7,6 +7,12 @@ package sat
 // so existing callers are unaffected; diversified configurations of these
 // knobs are what the portfolio layer races against each other.
 type Options struct {
+	// Name labels this configuration in telemetry (search reports, spans).
+	// It is not a heuristic: it never affects the search and two configs
+	// differing only in Name behave identically. The portfolio layer stamps
+	// each racing config's name here so per-config effort breakdowns can be
+	// attributed without extra plumbing.
+	Name string
 	// RestartBase is the first restart interval in conflicts (default 100).
 	RestartBase int64
 	// GeomRestarts selects a geometric restart schedule (interval grows by

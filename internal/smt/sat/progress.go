@@ -27,6 +27,31 @@ type Progress struct {
 	solves       atomic.Int64  // SolveLimited calls that attached this Progress
 	running      atomic.Int64  // solvers currently publishing
 	budget       atomic.Uint64 // Float64bits of the max budget fraction seen
+
+	// rec, when set, receives the same publish-cadence feed as the
+	// counters above, plus restart/simplify/solve event marks, and
+	// accumulates them into a SearchReport (see report.go). Attaching a
+	// recorder costs nothing on the hot path: solvers check the pointer
+	// only inside publish, which is already amortized.
+	rec atomic.Pointer[SearchRecorder]
+}
+
+// SetRecorder attaches (or, with nil, detaches) a SearchRecorder. Safe
+// to call concurrently with live solving; solvers pick the new recorder
+// up at their next publish. Nil-safe on p.
+func (p *Progress) SetRecorder(r *SearchRecorder) {
+	if p == nil {
+		return
+	}
+	p.rec.Store(r)
+}
+
+// Recorder returns the attached SearchRecorder, if any. Nil-safe.
+func (p *Progress) Recorder() *SearchRecorder {
+	if p == nil {
+		return nil
+	}
+	return p.rec.Load()
 }
 
 // ProgressSnapshot is a point-in-time copy of a Progress, JSON-friendly.
@@ -97,26 +122,52 @@ func (p *Progress) observeBudget(frac float64) {
 // progressPub tracks one SolveLimited call's last-published counters so
 // repeated publishes add only the delta since the previous one.
 type progressPub struct {
-	p    *Progress
-	last Stats
+	p       *Progress
+	name    string // Options.Name of the publishing solver (portfolio label)
+	last    Stats
+	lastLBD [lbdOverflowBucket + 1]int64
 }
 
 // publish pushes the effort accumulated since the previous publish, plus
-// the current budget fraction.
+// the current budget fraction, and forwards the same delta to the
+// attached SearchRecorder (if any) together with the solver's current
+// decision depth and the delta of its LBD histogram.
 func (pp *progressPub) publish(s *Solver, frac float64) {
 	if pp.p == nil {
 		return
 	}
 	cur := s.stats
 	cur.LearntBytes = s.learntBytes
-	pp.p.add(Stats{
+	d := Stats{
 		Conflicts:    cur.Conflicts - pp.last.Conflicts,
 		Decisions:    cur.Decisions - pp.last.Decisions,
 		Propagations: cur.Propagations - pp.last.Propagations,
 		Restarts:     cur.Restarts - pp.last.Restarts,
 		Learnt:       cur.Learnt - pp.last.Learnt,
 		LearntBytes:  cur.LearntBytes - pp.last.LearntBytes,
-	})
+	}
+	pp.p.add(d)
 	pp.last = cur
 	pp.p.observeBudget(frac)
+	if rec := pp.p.Recorder(); rec != nil {
+		var lbdDelta [lbdOverflowBucket + 1]int64
+		for i, n := range s.lbdHist {
+			lbdDelta[i] = n - pp.lastLBD[i]
+			pp.lastLBD[i] = n
+		}
+		rec.observe(pp.name, d, pp.p.Snapshot(), s.decisionLevel(), &lbdDelta)
+	}
+}
+
+// event forwards a discrete search event (restart, simplify, solve
+// boundary) to the attached recorder. Conflicts is reported job-wide:
+// the published total plus this solver's not-yet-published delta.
+func (pp *progressPub) event(s *Solver, kind string, detail int64) {
+	if pp.p == nil {
+		return
+	}
+	if rec := pp.p.Recorder(); rec != nil {
+		conflicts := pp.p.conflicts.Load() + (s.stats.Conflicts - pp.last.Conflicts)
+		rec.event(kind, pp.name, conflicts, detail)
+	}
 }

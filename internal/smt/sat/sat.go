@@ -209,6 +209,10 @@ type Solver struct {
 	// why the last SolveLimited returned Unknown (StopNone otherwise).
 	learntBytes int64
 	stopReason  StopReason
+	// lbdHist counts learnt clauses by LBD: index i holds LBD i+1, the
+	// last bucket everything >= lbdOverflowBucket+1. One increment per
+	// learnt clause; published as deltas to an attached SearchRecorder.
+	lbdHist [lbdOverflowBucket + 1]int64
 
 	// debug enables expensive internal invariant checking after every
 	// propagation fixpoint; used by fuzz-style tests.
@@ -922,14 +926,17 @@ func (s *Solver) SolveLimited(lim Limits, assumptions ...cnf.Lit) Status {
 	// shared Progress outside publish calls, so Stats stays unsynchronized
 	// on the solver's own goroutine while pollers read atomics.
 	solveStart := time.Now()
-	pub := progressPub{p: lim.Progress}
+	pub := progressPub{p: lim.Progress, name: s.opts.Name}
 	if lim.Progress != nil {
 		pub.last = s.stats
 		pub.last.LearntBytes = s.learntBytes
+		pub.lastLBD = s.lbdHist
 		lim.Progress.solves.Add(1)
 		lim.Progress.running.Add(1)
+		pub.event(s, "solve_start", 0)
 		defer func() {
 			pub.publish(s, s.budgetFraction(lim, conflictsAtStart, propsAtStart, solveStart))
+			pub.event(s, "solve_end", int64(s.stopReason))
 			lim.Progress.running.Add(-1)
 		}()
 	}
@@ -979,6 +986,12 @@ func (s *Solver) SolveLimited(lim Limits, assumptions ...cnf.Lit) Status {
 				s.uncheckedEnqueue(learnt[0], nil)
 			} else {
 				c := &clause{lits: learnt, learnt: true, lbd: s.computeLBD(learnt)}
+				if b := int(c.lbd) - 1; b >= 0 {
+					if b > lbdOverflowBucket {
+						b = lbdOverflowBucket
+					}
+					s.lbdHist[b]++
+				}
 				s.learnts = append(s.learnts, c)
 				s.stats.Learnt++
 				s.learntBytes += clauseBytes(c)
@@ -1021,6 +1034,7 @@ func (s *Solver) SolveLimited(lim Limits, assumptions ...cnf.Lit) Status {
 			geomInterval *= s.opts.RestartGrowth
 			nextRestart = s.stats.Conflicts + s.restartInterval(restartBase, curRestart, geomInterval)
 			s.backtrackTo(len(assumptions))
+			pub.event(s, "restart", nextRestart-s.stats.Conflicts)
 			rsp := lim.Span.Child("sat.restart")
 			rsp.SetAttrs(
 				telemetry.Int("conflicts", s.stats.Conflicts-conflictsAtStart),
@@ -1035,6 +1049,7 @@ func (s *Solver) SolveLimited(lim Limits, assumptions ...cnf.Lit) Status {
 			ssp := lim.Span.Child("sat.simplify")
 			before := int64(len(s.learnts))
 			s.reduceDB()
+			pub.event(s, "simplify", before-int64(len(s.learnts)))
 			ssp.SetAttrs(
 				telemetry.Int("learnt_before", before),
 				telemetry.Int("learnt_after", int64(len(s.learnts))))

@@ -1,0 +1,345 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Exporter ships finished trace snapshots out of the process as
+// OTLP-shaped JSON: batched HTTP pushes to a collector endpoint
+// (-otlp-endpoint) and/or NDJSON spool files in a directory (-trace-dir).
+//
+// The contract that matters: Enqueue NEVER blocks and NEVER fails the
+// caller. The analysis path hands a finished job's trace to a bounded
+// queue and moves on; a single background worker batches, converts and
+// ships. When the queue is full (collector down, disk slow) snapshots
+// are dropped and counted — the same write-behind discipline as the
+// durable store's storePutAsync. Push failures follow the service's
+// failure taxonomy: transport errors and 5xx are transient (retried with
+// exponential backoff), 4xx are permanent (the batch is dropped —
+// retrying a malformed request cannot heal it).
+type Exporter struct {
+	opts  ExportOptions
+	queue chan exportItem
+	spool *os.File
+
+	traces      atomic.Int64 // snapshots accepted into the queue
+	dropped     atomic.Int64 // snapshots dropped: queue full
+	batches     atomic.Int64 // batches shipped (pushed and/or spooled)
+	pushed      atomic.Int64 // successful HTTP pushes
+	pushRetries atomic.Int64 // retried HTTP attempts
+	pushFailed  atomic.Int64 // batches abandoned after retries / on 4xx
+	spooled     atomic.Int64 // ResourceSpans lines written to the spool
+	spoolErrors atomic.Int64
+
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+}
+
+type exportItem struct {
+	view     View
+	resource []Attr
+}
+
+// ExportOptions configures an Exporter. At least one of Endpoint and Dir
+// must be set.
+type ExportOptions struct {
+	// Endpoint is the OTLP/HTTP traces URL, e.g.
+	// http://localhost:4318/v1/traces. Validated at construction: a bad
+	// URL must fail startup, not drop every batch at runtime.
+	Endpoint string
+	// Dir, when set, receives NDJSON spool files (one ResourceSpans JSON
+	// per line) named traces-<unixnano>.ndjson. Validated writable at
+	// construction.
+	Dir string
+	// Resource attributes stamped on every export (service.name, ...).
+	Resource []Attr
+	// BatchSize caps snapshots per push (default 16).
+	BatchSize int
+	// FlushInterval bounds how long a non-full batch waits (default 2s).
+	FlushInterval time.Duration
+	// QueueSize bounds the number of snapshots awaiting export
+	// (default 256); overflow is dropped and counted.
+	QueueSize int
+	// Retries is how many times a transiently-failed push is retried
+	// (default 3), with exponential backoff starting at RetryBackoff
+	// (default 250ms).
+	Retries      int
+	RetryBackoff time.Duration
+	// Timeout bounds one HTTP push attempt (default 5s).
+	Timeout time.Duration
+	// Client overrides the HTTP client (tests).
+	Client *http.Client
+	// OnError, when set, observes shipping failures (for logging).
+	// Called from the worker goroutine.
+	OnError func(err error)
+}
+
+func (o ExportOptions) withDefaults() ExportOptions {
+	if o.BatchSize <= 0 {
+		o.BatchSize = 16
+	}
+	if o.FlushInterval <= 0 {
+		o.FlushInterval = 2 * time.Second
+	}
+	if o.QueueSize <= 0 {
+		o.QueueSize = 256
+	}
+	if o.Retries < 0 {
+		o.Retries = 0
+	} else if o.Retries == 0 {
+		o.Retries = 3
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 250 * time.Millisecond
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 5 * time.Second
+	}
+	return o
+}
+
+// ExportStats is a point-in-time snapshot of exporter counters,
+// JSON-shaped for the /metrics endpoint.
+type ExportStats struct {
+	Traces      int64 `json:"traces"`
+	Dropped     int64 `json:"dropped"`
+	Batches     int64 `json:"batches"`
+	Pushed      int64 `json:"pushed"`
+	PushRetries int64 `json:"push_retries"`
+	PushFailed  int64 `json:"push_failed"`
+	Spooled     int64 `json:"spooled"`
+	SpoolErrors int64 `json:"spool_errors"`
+}
+
+// ValidateEndpoint checks that s is a usable OTLP/HTTP URL. Exposed so
+// flag validation can fail fast with the same rule the exporter applies.
+func ValidateEndpoint(s string) error {
+	u, err := url.Parse(s)
+	if err != nil {
+		return fmt.Errorf("otlp endpoint %q: %w", s, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return fmt.Errorf("otlp endpoint %q: scheme must be http or https, got %q", s, u.Scheme)
+	}
+	if u.Host == "" {
+		return fmt.Errorf("otlp endpoint %q: missing host", s)
+	}
+	return nil
+}
+
+// NewExporter validates the targets and starts the background worker.
+// Construction fails (rather than silently dropping every batch later)
+// when the endpoint URL is malformed or the spool directory cannot be
+// created/written — callers treat that like any other bad flag and exit.
+func NewExporter(opts ExportOptions) (*Exporter, error) {
+	opts = opts.withDefaults()
+	if opts.Endpoint == "" && opts.Dir == "" {
+		return nil, errors.New("telemetry: exporter needs an endpoint or a spool dir")
+	}
+	if opts.Endpoint != "" {
+		if err := ValidateEndpoint(opts.Endpoint); err != nil {
+			return nil, err
+		}
+	}
+	e := &Exporter{opts: opts, queue: make(chan exportItem, opts.QueueSize)}
+	if opts.Dir != "" {
+		if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("trace dir %q: %w", opts.Dir, err)
+		}
+		name := filepath.Join(opts.Dir, fmt.Sprintf("traces-%d.ndjson", time.Now().UnixNano()))
+		f, err := os.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("trace dir %q not writable: %w", opts.Dir, err)
+		}
+		e.spool = f
+	}
+	if e.opts.Client == nil {
+		e.opts.Client = &http.Client{Timeout: opts.Timeout}
+	}
+	e.wg.Add(1)
+	go e.run()
+	return e, nil
+}
+
+// Enqueue offers a trace snapshot for export. Non-blocking: a full
+// queue drops the snapshot and counts it. Nil-safe so callers can hold
+// an optional *Exporter without guarding.
+func (e *Exporter) Enqueue(v View, resource ...Attr) {
+	if e == nil {
+		return
+	}
+	res := resource
+	if len(e.opts.Resource) > 0 {
+		res = append(append([]Attr(nil), e.opts.Resource...), resource...)
+	}
+	select {
+	case e.queue <- exportItem{view: v, resource: res}:
+		e.traces.Add(1)
+	default:
+		e.dropped.Add(1)
+	}
+}
+
+// Stats snapshots the exporter's counters. Nil-safe.
+func (e *Exporter) Stats() ExportStats {
+	if e == nil {
+		return ExportStats{}
+	}
+	return ExportStats{
+		Traces:      e.traces.Load(),
+		Dropped:     e.dropped.Load(),
+		Batches:     e.batches.Load(),
+		Pushed:      e.pushed.Load(),
+		PushRetries: e.pushRetries.Load(),
+		PushFailed:  e.pushFailed.Load(),
+		Spooled:     e.spooled.Load(),
+		SpoolErrors: e.spoolErrors.Load(),
+	}
+}
+
+// Close stops accepting snapshots, ships what is queued, and closes the
+// spool file. Idempotent and nil-safe.
+func (e *Exporter) Close() {
+	if e == nil {
+		return
+	}
+	e.closeOnce.Do(func() {
+		close(e.queue)
+		e.wg.Wait()
+		if e.spool != nil {
+			e.spool.Close()
+		}
+	})
+}
+
+// run is the single shipping worker: gather up to BatchSize snapshots
+// (or whatever arrived within FlushInterval), convert, spool, push.
+func (e *Exporter) run() {
+	defer e.wg.Done()
+	ticker := time.NewTicker(e.opts.FlushInterval)
+	defer ticker.Stop()
+	var batch []exportItem
+	flush := func() {
+		if len(batch) > 0 {
+			e.ship(batch)
+			batch = batch[:0]
+		}
+	}
+	for {
+		select {
+		case it, ok := <-e.queue:
+			if !ok {
+				flush()
+				return
+			}
+			batch = append(batch, it)
+			if len(batch) >= e.opts.BatchSize {
+				flush()
+			}
+		case <-ticker.C:
+			flush()
+		}
+	}
+}
+
+// ship converts one batch and sends it to every configured target.
+func (e *Exporter) ship(batch []exportItem) {
+	req := OTLPExportRequest{ResourceSpans: make([]OTLPResourceSpans, 0, len(batch))}
+	for _, it := range batch {
+		req.ResourceSpans = append(req.ResourceSpans, OTLPFromView(it.view, it.resource...))
+	}
+	e.batches.Add(1)
+	if e.spool != nil {
+		e.writeSpool(req.ResourceSpans)
+	}
+	if e.opts.Endpoint != "" {
+		e.push(req)
+	}
+}
+
+// writeSpool appends one NDJSON line per ResourceSpans.
+func (e *Exporter) writeSpool(rss []OTLPResourceSpans) {
+	var buf bytes.Buffer
+	for _, rs := range rss {
+		line, err := json.Marshal(rs)
+		if err != nil {
+			e.spoolErrors.Add(1)
+			continue
+		}
+		buf.Write(line)
+		buf.WriteByte('\n')
+	}
+	if _, err := e.spool.Write(buf.Bytes()); err != nil {
+		e.spoolErrors.Add(1)
+		e.reportErr(fmt.Errorf("trace spool write: %w", err))
+		return
+	}
+	e.spooled.Add(int64(len(rss)))
+}
+
+// push POSTs the batch, retrying transient failures with exponential
+// backoff. The worker sleeping here only delays later exports (and, at
+// worst, fills the queue so snapshots drop) — it can never block a solve.
+func (e *Exporter) push(req OTLPExportRequest) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		e.pushFailed.Add(1)
+		return
+	}
+	backoff := e.opts.RetryBackoff
+	for attempt := 0; ; attempt++ {
+		err := e.pushOnce(body)
+		if err == nil {
+			e.pushed.Add(1)
+			return
+		}
+		var pe *permanentPushError
+		if errors.As(err, &pe) || attempt >= e.opts.Retries {
+			e.pushFailed.Add(1)
+			e.reportErr(fmt.Errorf("otlp push failed: %w", err))
+			return
+		}
+		e.pushRetries.Add(1)
+		time.Sleep(backoff)
+		backoff *= 2
+	}
+}
+
+// permanentPushError marks 4xx responses: retrying cannot heal them.
+type permanentPushError struct{ status int }
+
+func (e *permanentPushError) Error() string {
+	return fmt.Sprintf("collector rejected batch: HTTP %d", e.status)
+}
+
+func (e *Exporter) pushOnce(body []byte) error {
+	resp, err := e.opts.Client.Post(e.opts.Endpoint, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode >= 200 && resp.StatusCode < 300:
+		return nil
+	case resp.StatusCode >= 400 && resp.StatusCode < 500:
+		return &permanentPushError{status: resp.StatusCode}
+	default:
+		return fmt.Errorf("collector returned HTTP %d", resp.StatusCode)
+	}
+}
+
+func (e *Exporter) reportErr(err error) {
+	if e.opts.OnError != nil {
+		e.opts.OnError(err)
+	}
+}

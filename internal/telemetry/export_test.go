@@ -1,0 +1,248 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// collectStub is an httptest OTLP collector that decodes every push.
+type collectStub struct {
+	mu       chan struct{}
+	requests [][]OTLPResourceSpans
+}
+
+func newCollectStub(t *testing.T, status int) (*collectStub, *httptest.Server) {
+	t.Helper()
+	c := &collectStub{mu: make(chan struct{}, 1)}
+	c.mu <- struct{}{}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req OTLPExportRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			t.Errorf("collector received undecodable body: %v", err)
+		}
+		<-c.mu
+		c.requests = append(c.requests, req.ResourceSpans)
+		c.mu <- struct{}{}
+		w.WriteHeader(status)
+	}))
+	t.Cleanup(srv.Close)
+	return c, srv
+}
+
+func (c *collectStub) all() []OTLPResourceSpans {
+	<-c.mu
+	defer func() { c.mu <- struct{}{} }()
+	var out []OTLPResourceSpans
+	for _, rss := range c.requests {
+		out = append(out, rss...)
+	}
+	return out
+}
+
+// TestExporterPushesToCollector drives a snapshot through the full
+// path: Enqueue -> batch -> OTLP conversion -> HTTP push, and asserts
+// the stub collector received well-formed ResourceSpans.
+func TestExporterPushesToCollector(t *testing.T) {
+	stub, srv := newCollectStub(t, http.StatusOK)
+	e, err := NewExporter(ExportOptions{
+		Endpoint: srv.URL,
+		Resource: []Attr{String("service.name", "buffy-serve")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Enqueue(otlpTestView(), String("buffy.job_kind", "verify"))
+	e.Close()
+
+	rss := stub.all()
+	if len(rss) != 1 {
+		t.Fatalf("collector received %d ResourceSpans, want 1", len(rss))
+	}
+	keys := map[string]bool{}
+	for _, kv := range rss[0].Resource.Attributes {
+		keys[kv.Key] = true
+	}
+	if !keys["service.name"] || !keys["buffy.job_kind"] {
+		t.Errorf("resource attrs missing service.name/buffy.job_kind: %+v", rss[0].Resource.Attributes)
+	}
+	spans := rss[0].ScopeSpans[0].Spans
+	if len(spans) != 3 {
+		t.Fatalf("want 3 spans, got %d", len(spans))
+	}
+	if len(spans[0].TraceID) != 32 || len(spans[0].SpanID) != 16 {
+		t.Errorf("malformed ids: trace %q span %q", spans[0].TraceID, spans[0].SpanID)
+	}
+	st := e.Stats()
+	if st.Traces != 1 || st.Pushed != 1 || st.Dropped != 0 || st.PushFailed != 0 {
+		t.Errorf("stats = %+v, want 1 trace pushed cleanly", st)
+	}
+}
+
+// TestExporterEndpointDownNeverBlocks is the core non-interference
+// guarantee: with the collector unreachable, Enqueue stays O(1) — the
+// queue fills, overflow is dropped and counted, and the caller never
+// waits on the network.
+func TestExporterEndpointDownNeverBlocks(t *testing.T) {
+	// A hijack-then-hang server would still accept connects; a closed
+	// port refuses instantly, but retry sleeps happen on the worker. The
+	// caller-visible property is the same either way: Enqueue returns
+	// immediately regardless of what the worker is stuck on.
+	e, err := NewExporter(ExportOptions{
+		Endpoint:     "http://127.0.0.1:1/v1/traces", // reserved port: refused
+		QueueSize:    4,
+		Retries:      2,
+		RetryBackoff: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	const n = 200
+	for i := 0; i < n; i++ {
+		e.Enqueue(otlpTestView())
+	}
+	if el := time.Since(start); el > time.Second {
+		t.Fatalf("200 Enqueues with the collector down took %v; must be non-blocking", el)
+	}
+	st := e.Stats()
+	if st.Traces+st.Dropped != n {
+		t.Errorf("accounting leak: traces %d + dropped %d != %d", st.Traces, st.Dropped, n)
+	}
+	if st.Dropped == 0 {
+		t.Errorf("queue of 4 accepted all %d snapshots; backpressure should drop", n)
+	}
+	e.Close()
+	if st := e.Stats(); st.PushFailed == 0 {
+		t.Errorf("no push recorded as failed with the collector down: %+v", st)
+	}
+}
+
+// TestExporter4xxIsPermanent pins the failure taxonomy: a 4xx response
+// means the batch itself is bad, so it is dropped without retries.
+func TestExporter4xxIsPermanent(t *testing.T) {
+	_, srv := newCollectStub(t, http.StatusBadRequest)
+	e, err := NewExporter(ExportOptions{Endpoint: srv.URL, RetryBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Enqueue(otlpTestView())
+	e.Close()
+	st := e.Stats()
+	if st.PushFailed != 1 || st.PushRetries != 0 || st.Pushed != 0 {
+		t.Errorf("4xx: stats %+v, want 1 failed / 0 retries", st)
+	}
+}
+
+// TestExporter5xxRetries pins the other half: 5xx is transient and
+// retried with backoff before the batch is abandoned.
+func TestExporter5xxRetries(t *testing.T) {
+	_, srv := newCollectStub(t, http.StatusServiceUnavailable)
+	e, err := NewExporter(ExportOptions{
+		Endpoint: srv.URL, Retries: 2, RetryBackoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Enqueue(otlpTestView())
+	e.Close()
+	st := e.Stats()
+	if st.PushRetries != 2 || st.PushFailed != 1 {
+		t.Errorf("5xx: stats %+v, want 2 retries then 1 failure", st)
+	}
+}
+
+// TestExporterSpool checks the -trace-dir path: one NDJSON line per
+// ResourceSpans, each independently decodable.
+func TestExporterSpool(t *testing.T) {
+	dir := t.TempDir()
+	e, err := NewExporter(ExportOptions{Dir: dir, Resource: []Attr{String("service.name", "buffy-serve")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Enqueue(otlpTestView())
+	e.Enqueue(otlpTestView())
+	e.Close()
+
+	files, err := filepath.Glob(filepath.Join(dir, "traces-*.ndjson"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("spool files = %v (err %v), want exactly one", files, err)
+	}
+	f, err := os.Open(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	lines := 0
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var rs OTLPResourceSpans
+		if err := json.Unmarshal(sc.Bytes(), &rs); err != nil {
+			t.Fatalf("spool line %d not valid ResourceSpans JSON: %v", lines+1, err)
+		}
+		if len(rs.ScopeSpans) == 0 || len(rs.ScopeSpans[0].Spans) == 0 {
+			t.Fatalf("spool line %d has no spans", lines+1)
+		}
+		lines++
+	}
+	if lines != 2 {
+		t.Fatalf("spool holds %d lines, want 2", lines)
+	}
+	if st := e.Stats(); st.Spooled != 2 || st.SpoolErrors != 0 {
+		t.Errorf("spool stats %+v, want 2 spooled cleanly", st)
+	}
+}
+
+// TestExporterValidation pins the fail-fast contract: bad endpoints and
+// unusable spool dirs are construction errors, not silent runtime drops.
+func TestExporterValidation(t *testing.T) {
+	for _, bad := range []string{
+		"localhost:4318/v1/traces", // no scheme
+		"ftp://collector/v1/traces",
+		"http://",
+		"://nope",
+	} {
+		if err := ValidateEndpoint(bad); err == nil {
+			t.Errorf("ValidateEndpoint(%q) accepted a bad URL", bad)
+		}
+	}
+	if err := ValidateEndpoint("http://localhost:4318/v1/traces"); err != nil {
+		t.Errorf("valid endpoint rejected: %v", err)
+	}
+	if _, err := NewExporter(ExportOptions{}); err == nil {
+		t.Error("exporter with no targets must fail construction")
+	}
+	if _, err := NewExporter(ExportOptions{Endpoint: "ftp://x"}); err == nil {
+		t.Error("bad endpoint scheme must fail construction")
+	}
+	// A path through a regular file cannot become a directory — this
+	// fails even when running as root, unlike permission-based checks.
+	file := filepath.Join(t.TempDir(), "plain-file")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewExporter(ExportOptions{Dir: filepath.Join(file, "sub")}); err == nil {
+		t.Error("unusable spool dir must fail construction")
+	}
+	if !strings.Contains(ValidateEndpoint("ftp://x").Error(), "scheme") {
+		t.Error("scheme error should name the problem")
+	}
+}
+
+// TestExporterNilSafe: an unconfigured *Exporter is a no-op, so callers
+// hold one without guarding.
+func TestExporterNilSafe(t *testing.T) {
+	var e *Exporter
+	e.Enqueue(otlpTestView())
+	e.Close()
+	if st := e.Stats(); st != (ExportStats{}) {
+		t.Errorf("nil exporter stats %+v", st)
+	}
+}

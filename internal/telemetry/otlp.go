@@ -1,0 +1,215 @@
+package telemetry
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+)
+
+// OTLP-shaped JSON for trace export, hand-rolled to the OTLP/HTTP JSON
+// mapping (opentelemetry-proto trace v1) so collectors (Jaeger, Tempo,
+// the otel-collector) ingest Buffy traces without this repo depending on
+// the OpenTelemetry SDK. The mapping's sharp edges, honored here:
+//
+//   - trace ids are 16 bytes / 32 lowercase hex chars, span ids 8 bytes
+//     / 16 hex chars (proto `bytes` fields are hex in the JSON mapping,
+//     not base64, per the OTLP spec's special case);
+//   - 64-bit integers (timestamps, intValue) are JSON *strings*;
+//   - attribute values are tagged unions ({"stringValue": ...} etc).
+//
+// Buffy span ids are small sequential uint64s unique within one trace;
+// they become OTLP span ids verbatim (big-endian). The OTLP trace id is
+// derived deterministically from the job id and trace start time, so
+// re-exporting the same trace is idempotent and tests are golden-stable.
+
+// OTLPExportRequest is the body of an OTLP/HTTP traces POST
+// (ExportTraceServiceRequest).
+type OTLPExportRequest struct {
+	ResourceSpans []OTLPResourceSpans `json:"resourceSpans"`
+}
+
+// OTLPResourceSpans groups one resource (the buffy-serve process) with
+// the spans it produced.
+type OTLPResourceSpans struct {
+	Resource   OTLPResource     `json:"resource"`
+	ScopeSpans []OTLPScopeSpans `json:"scopeSpans"`
+}
+
+// OTLPResource carries identifying attributes (service.name & co).
+type OTLPResource struct {
+	Attributes []OTLPKeyValue `json:"attributes,omitempty"`
+}
+
+// OTLPScopeSpans groups spans by instrumentation scope.
+type OTLPScopeSpans struct {
+	Scope OTLPScope  `json:"scope"`
+	Spans []OTLPSpan `json:"spans"`
+}
+
+// OTLPScope names the instrumentation that produced the spans.
+type OTLPScope struct {
+	Name    string `json:"name"`
+	Version string `json:"version,omitempty"`
+}
+
+// OTLPSpan is one span in OTLP JSON form.
+type OTLPSpan struct {
+	TraceID           string         `json:"traceId"`
+	SpanID            string         `json:"spanId"`
+	ParentSpanID      string         `json:"parentSpanId,omitempty"`
+	Name              string         `json:"name"`
+	Kind              int            `json:"kind"` // 1 = SPAN_KIND_INTERNAL
+	StartTimeUnixNano string         `json:"startTimeUnixNano"`
+	EndTimeUnixNano   string         `json:"endTimeUnixNano"`
+	Attributes        []OTLPKeyValue `json:"attributes,omitempty"`
+	Status            OTLPStatus     `json:"status"`
+}
+
+// OTLPStatus is the span status; code 0 (UNSET) throughout — Buffy
+// records failure classes as attributes, not span status.
+type OTLPStatus struct {
+	Code int `json:"code,omitempty"`
+}
+
+// OTLPKeyValue is one attribute.
+type OTLPKeyValue struct {
+	Key   string    `json:"key"`
+	Value OTLPValue `json:"value"`
+}
+
+// OTLPValue is the OTLP AnyValue tagged union; exactly one field is set.
+type OTLPValue struct {
+	StringValue *string  `json:"stringValue,omitempty"`
+	IntValue    *string  `json:"intValue,omitempty"` // 64-bit: JSON string
+	DoubleValue *float64 `json:"doubleValue,omitempty"`
+	BoolValue   *bool    `json:"boolValue,omitempty"`
+}
+
+func otlpString(v string) OTLPValue { return OTLPValue{StringValue: &v} }
+func otlpBool(v bool) OTLPValue     { return OTLPValue{BoolValue: &v} }
+func otlpDouble(v float64) OTLPValue {
+	return OTLPValue{DoubleValue: &v}
+}
+func otlpInt(v int64) OTLPValue {
+	s := strconv.FormatInt(v, 10)
+	return OTLPValue{IntValue: &s}
+}
+
+// otlpValue maps the tracer's loosely-typed attribute values onto the
+// tagged union. The tracer's constructors only produce string / int64 /
+// bool / float64; anything else is stringified defensively.
+func otlpValue(v any) OTLPValue {
+	switch x := v.(type) {
+	case string:
+		return otlpString(x)
+	case int64:
+		return otlpInt(x)
+	case int:
+		return otlpInt(int64(x))
+	case bool:
+		return otlpBool(x)
+	case float64:
+		return otlpDouble(x)
+	default:
+		return otlpString(fmt.Sprint(x))
+	}
+}
+
+// OTLPTraceID derives the 32-hex-char OTLP trace id for a trace: the
+// first 16 bytes of sha256(id ":" startUnixNano). Deterministic so the
+// same job snapshot always exports under the same id, and collision-safe
+// across jobs because job ids are unique per process and the start time
+// disambiguates across restarts.
+func OTLPTraceID(id string, startUnixNano int64) string {
+	h := sha256.New()
+	h.Write([]byte(id))
+	h.Write([]byte(":"))
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(startUnixNano))
+	h.Write(buf[:])
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// otlpSpanID renders a tracer span id (sequential uint64, never zero for
+// a recorded span) as the 16-hex-char OTLP span id.
+func otlpSpanID(id uint64) string {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], id)
+	return hex.EncodeToString(buf[:])
+}
+
+// OTLPFromView converts one trace snapshot into a ResourceSpans. The
+// resource attributes identify the exporting process (service.name,
+// service.version, ...); the trace's own id lands in the buffy.trace_id
+// span attribute of every span so collectors can search by job id.
+// In-flight spans (Ended=false) are exported with their duration so far
+// and a buffy.in_flight marker.
+func OTLPFromView(v View, resource ...Attr) OTLPResourceSpans {
+	traceID := OTLPTraceID(v.ID, v.StartedAt.UnixNano())
+	startNano := v.StartedAt.UnixNano()
+
+	var spans []OTLPSpan
+	var walk func(svs []*SpanView, parent uint64)
+	walk = func(svs []*SpanView, parent uint64) {
+		for _, sv := range svs {
+			start := startNano + sv.StartUS*1000
+			end := start + sv.DurUS*1000
+			sp := OTLPSpan{
+				TraceID:           traceID,
+				SpanID:            otlpSpanID(sv.ID),
+				Name:              sv.Name,
+				Kind:              1, // SPAN_KIND_INTERNAL
+				StartTimeUnixNano: strconv.FormatInt(start, 10),
+				EndTimeUnixNano:   strconv.FormatInt(end, 10),
+			}
+			if parent != 0 {
+				sp.ParentSpanID = otlpSpanID(parent)
+			}
+			sp.Attributes = append(sp.Attributes, OTLPKeyValue{Key: "buffy.trace_id", Value: otlpString(v.ID)})
+			if !sv.Ended {
+				sp.Attributes = append(sp.Attributes, OTLPKeyValue{Key: "buffy.in_flight", Value: otlpBool(true)})
+			}
+			for _, k := range sortedAttrKeys(sv.Attrs) {
+				sp.Attributes = append(sp.Attributes, OTLPKeyValue{Key: k, Value: otlpValue(sv.Attrs[k])})
+			}
+			spans = append(spans, sp)
+			walk(sv.Spans, sv.ID)
+		}
+	}
+	walk(v.Spans, 0)
+
+	rs := OTLPResourceSpans{
+		ScopeSpans: []OTLPScopeSpans{{
+			Scope: OTLPScope{Name: "buffy/internal/telemetry"},
+			Spans: spans,
+		}},
+	}
+	for _, a := range resource {
+		rs.Resource.Attributes = append(rs.Resource.Attributes, OTLPKeyValue{Key: a.Key, Value: otlpValue(a.Value)})
+	}
+	if v.Dropped > 0 {
+		rs.Resource.Attributes = append(rs.Resource.Attributes,
+			OTLPKeyValue{Key: "buffy.dropped_spans", Value: otlpInt(int64(v.Dropped))})
+	}
+	return rs
+}
+
+// sortedAttrKeys gives attribute maps a stable export order.
+func sortedAttrKeys(m map[string]any) []string {
+	if len(m) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	// insertion sort; attr maps are tiny
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}

@@ -1,0 +1,207 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+// otlpTestView is a fully deterministic trace snapshot: fixed start
+// time, fixed span offsets/durations, one attribute of every type the
+// tracer's constructors produce, one in-flight span.
+func otlpTestView() View {
+	return View{
+		ID:        "j00000001",
+		StartedAt: time.Unix(1754000000, 0).UTC(),
+		NumSpans:  3,
+		Spans: []*SpanView{
+			{
+				ID: 1, Name: "job", StartUS: 0, DurUS: 5000, Ended: true,
+				Attrs: map[string]any{
+					"kind":   "verify",
+					"t":      int64(6),
+					"cached": false,
+					"ratio":  0.5,
+				},
+				Spans: []*SpanView{
+					{ID: 2, Parent: 1, Name: "parse", StartUS: 10, DurUS: 200, Ended: true},
+					{ID: 3, Parent: 1, Name: "search", StartUS: 300, DurUS: 4000, Ended: false},
+				},
+			},
+		},
+	}
+}
+
+// TestOTLPGolden pins the full wire shape byte-for-byte: id formats,
+// 64-bit-ints-as-strings, tagged-union attribute values, nesting
+// flattened with parentSpanId. Regenerate with -update-golden after a
+// deliberate format change.
+func TestOTLPGolden(t *testing.T) {
+	rs := OTLPFromView(otlpTestView(),
+		String("service.name", "buffy-serve"), String("service.version", "0.6.0-dev"))
+	got, err := json.MarshalIndent(rs, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	golden := filepath.Join("testdata", "otlp_golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update-golden): %v", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("OTLP JSON drifted from golden.\n got: %s\nwant: %s", got, want)
+	}
+}
+
+func TestOTLPIDFormats(t *testing.T) {
+	rs := OTLPFromView(otlpTestView())
+	spans := rs.ScopeSpans[0].Spans
+	if len(spans) != 3 {
+		t.Fatalf("want 3 flattened spans, got %d", len(spans))
+	}
+	traceIDRe := regexp.MustCompile(`^[0-9a-f]{32}$`)
+	spanIDRe := regexp.MustCompile(`^[0-9a-f]{16}$`)
+	for _, sp := range spans {
+		if !traceIDRe.MatchString(sp.TraceID) {
+			t.Errorf("span %s: traceId %q not 32 lowercase hex chars", sp.Name, sp.TraceID)
+		}
+		if !spanIDRe.MatchString(sp.SpanID) {
+			t.Errorf("span %s: spanId %q not 16 hex chars", sp.Name, sp.SpanID)
+		}
+		if sp.TraceID != spans[0].TraceID {
+			t.Errorf("span %s: traceId differs within one trace", sp.Name)
+		}
+		if sp.SpanID == "0000000000000000" {
+			t.Errorf("span %s: all-zero span id is invalid OTLP", sp.Name)
+		}
+	}
+	// Deterministic: same snapshot, same ids; different start, new trace.
+	v := otlpTestView()
+	if again := OTLPFromView(v); again.ScopeSpans[0].Spans[0].TraceID != spans[0].TraceID {
+		t.Error("trace id not deterministic for identical snapshots")
+	}
+	v.StartedAt = v.StartedAt.Add(time.Second)
+	if moved := OTLPFromView(v); moved.ScopeSpans[0].Spans[0].TraceID == spans[0].TraceID {
+		t.Error("trace id ignores the start time; restarts would collide")
+	}
+}
+
+func TestOTLPParentage(t *testing.T) {
+	spans := OTLPFromView(otlpTestView()).ScopeSpans[0].Spans
+	byName := map[string]OTLPSpan{}
+	for _, sp := range spans {
+		byName[sp.Name] = sp
+	}
+	if root := byName["job"]; root.ParentSpanID != "" {
+		t.Errorf("root span has parentSpanId %q, want none", root.ParentSpanID)
+	}
+	for _, child := range []string{"parse", "search"} {
+		if byName[child].ParentSpanID != byName["job"].SpanID {
+			t.Errorf("%s parentSpanId = %q, want job's %q",
+				child, byName[child].ParentSpanID, byName["job"].SpanID)
+		}
+	}
+	if byName["job"].Kind != 1 {
+		t.Errorf("kind = %d, want 1 (SPAN_KIND_INTERNAL)", byName["job"].Kind)
+	}
+}
+
+func TestOTLPAttributeTyping(t *testing.T) {
+	spans := OTLPFromView(otlpTestView()).ScopeSpans[0].Spans
+	attrs := map[string]OTLPValue{}
+	var searchAttrs []OTLPKeyValue
+	for _, sp := range spans {
+		if sp.Name == "job" {
+			for _, kv := range sp.Attributes {
+				attrs[kv.Key] = kv.Value
+			}
+		}
+		if sp.Name == "search" {
+			searchAttrs = sp.Attributes
+		}
+	}
+	if v := attrs["kind"]; v.StringValue == nil || *v.StringValue != "verify" {
+		t.Errorf("string attr mapped to %+v", v)
+	}
+	if v := attrs["t"]; v.IntValue == nil || *v.IntValue != "6" {
+		t.Errorf("int64 attr must be a JSON string intValue, got %+v", v)
+	}
+	if v := attrs["cached"]; v.BoolValue == nil || *v.BoolValue {
+		t.Errorf("bool attr mapped to %+v", v)
+	}
+	if v := attrs["ratio"]; v.DoubleValue == nil || *v.DoubleValue != 0.5 {
+		t.Errorf("float attr mapped to %+v", v)
+	}
+	if v := attrs["buffy.trace_id"]; v.StringValue == nil || *v.StringValue != "j00000001" {
+		t.Errorf("every span must carry the job id, got %+v", v)
+	}
+	// The unended search span carries the in-flight marker.
+	found := false
+	for _, kv := range searchAttrs {
+		if kv.Key == "buffy.in_flight" && kv.Value.BoolValue != nil && *kv.Value.BoolValue {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("unended span missing buffy.in_flight marker")
+	}
+}
+
+func TestOTLPDroppedSpansResourceAttr(t *testing.T) {
+	v := otlpTestView()
+	v.Dropped = 7
+	rs := OTLPFromView(v, String("service.name", "buffy-serve"))
+	found := false
+	for _, kv := range rs.Resource.Attributes {
+		if kv.Key == "buffy.dropped_spans" {
+			found = true
+			if kv.Value.IntValue == nil || *kv.Value.IntValue != "7" {
+				t.Errorf("dropped_spans = %+v, want intValue \"7\"", kv.Value)
+			}
+		}
+	}
+	if !found {
+		t.Error("truncated trace exports without the buffy.dropped_spans resource attribute")
+	}
+	if rs2 := OTLPFromView(otlpTestView()); len(rs2.Resource.Attributes) != 0 {
+		t.Errorf("untruncated trace grew resource attrs: %+v", rs2.Resource.Attributes)
+	}
+}
+
+// TestOTLPTimestamps pins the ns arithmetic: span start = trace start +
+// StartUS, end = start + DurUS.
+func TestOTLPTimestamps(t *testing.T) {
+	spans := OTLPFromView(otlpTestView()).ScopeSpans[0].Spans
+	base := time.Unix(1754000000, 0).UTC().UnixNano()
+	for _, sp := range spans {
+		if sp.Name != "parse" {
+			continue
+		}
+		wantStart := base + 10*1000
+		wantEnd := wantStart + 200*1000
+		if sp.StartTimeUnixNano != jsonInt(wantStart) || sp.EndTimeUnixNano != jsonInt(wantEnd) {
+			t.Errorf("parse start/end = %s/%s, want %d/%d",
+				sp.StartTimeUnixNano, sp.EndTimeUnixNano, wantStart, wantEnd)
+		}
+	}
+}
+
+func jsonInt(v int64) string {
+	b, _ := json.Marshal(v)
+	return string(b)
+}
